@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: FM-index occ-checkpoint spacing (64 / 128 / 448 BWT
+ * symbols per checkpoint).
+ *
+ * Design-choice study behind the fmi kernel (DESIGN.md §7): denser
+ * checkpoints cost memory (more of the index per lookup is counts)
+ * but shorten the per-occ scan; sparse checkpoints shrink the index
+ * but every backward-extension step scans more BWT bytes. BWA-MEM2
+ * ships a 64-symbol layout.
+ */
+#include <iostream>
+
+#include "harness.h"
+#include "index/fm_index.h"
+#include "io/dna.h"
+#include "simdata/genome.h"
+#include "simdata/reads.h"
+#include "util/timer.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gb;
+    const auto options = bench::Options::parse(argc, argv);
+    bench::printHeader("Ablation: fmi occ spacing",
+                       "index size vs lookup cost", options);
+
+    const u64 genome_len =
+        options.size == DatasetSize::kTiny ? 200'000 : 2'000'000;
+    const u64 num_reads =
+        options.size == DatasetSize::kTiny ? 500 : 5'000;
+
+    GenomeParams gp;
+    gp.length = genome_len;
+    gp.seed = 101;
+    const Genome genome = generateGenome(gp);
+    ShortReadParams rp;
+    rp.seed = 103;
+    rp.coverage = static_cast<double>(num_reads) * rp.read_len /
+                  static_cast<double>(genome.seq.size());
+    std::vector<std::vector<u8>> reads;
+    for (const auto& read : simulateShortReads(genome.seq, rp)) {
+        reads.push_back(encodeDna(read.record.seq));
+    }
+
+    Table table("Occ checkpoint spacing");
+    table.setHeader({"spacing", "occ bytes", "search time (s)",
+                     "int ops", "smems"});
+    for (u32 spacing : {32u, 64u, 128u, 448u}) {
+        const FmIndex fm = FmIndex::build(genome.seq, spacing);
+        CountingProbe probe;
+        u64 smems = 0;
+        WallTimer timer;
+        for (const auto& read : reads) {
+            std::vector<Smem> mems;
+            fm.smems(std::span<const u8>(read), 19, mems, probe);
+            smems += mems.size();
+        }
+        table.newRow()
+            .cell(spacing)
+            .cell(formatCount(fm.occBytes()))
+            .cellF(timer.seconds(), 3)
+            .cell(formatCount(probe.counts()[OpClass::kIntAlu]))
+            .cell(formatCount(smems));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: identical SMEM counts; scan work (int "
+                 "ops) grows with spacing while the occ footprint "
+                 "shrinks toward the raw BWT.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: kmer-cnt hash scheme — linear probing vs robin-hood — at
+ * increasing load factors.
+ *
+ * The paper suggests "cache-friendly hashing techniques like robin
+ * hood hashing" as a mitigation for kmer-cnt's memory behaviour; this
+ * bench quantifies the probe-chain effect.
+ */
+#include <iostream>
+
+#include "harness.h"
+#include "io/dna.h"
+#include "kmer/kmer_counter.h"
+#include "simdata/genome.h"
+#include "simdata/reads.h"
+#include "util/timer.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gb;
+    const auto options = bench::Options::parse(argc, argv);
+    bench::printHeader("Ablation: kmer-cnt hashing",
+                       "linear probing vs robin hood", options);
+
+    const u64 total_bases =
+        options.size == DatasetSize::kTiny ? 400'000 : 6'000'000;
+    GenomeParams gp;
+    gp.length = total_bases / 10;
+    gp.seed = 181;
+    const Genome genome = generateGenome(gp);
+    LongReadParams lp;
+    lp.seed = 182;
+    lp.coverage = static_cast<double>(total_bases) /
+                  static_cast<double>(genome.seq.size());
+    std::vector<std::vector<u8>> reads;
+    for (const auto& read : simulateLongReads(genome.seq, lp)) {
+        reads.push_back(encodeDna(read.record.seq));
+    }
+    u64 distinct_estimate = 0;
+    for (const auto& r : reads) {
+        distinct_estimate += r.size() >= 17 ? r.size() - 16 : 0;
+    }
+
+    // Base capacity: smallest power of two holding the distinct
+    // k-mers; +1 gives ~0.4 load, +0 gives ~0.75.
+    u32 base_log2 = 1;
+    while ((u64{1} << base_log2) < distinct_estimate) ++base_log2;
+
+    Table table("Counting hash schemes");
+    table.setHeader({"scheme", "capacity_log2", "load factor",
+                     "probe steps/insert", "mean displ.",
+                     "max displ.", "time (s)"});
+    for (const HashScheme scheme :
+         {HashScheme::kLinear, HashScheme::kRobinHood}) {
+        for (u32 cap_log2 : {base_log2 + 1, base_log2}) {
+            KmerCounter counter(cap_log2, scheme);
+            NullProbe probe;
+            WallTimer timer;
+            const KmerCountStats stats = countKmers(
+                std::span<const std::vector<u8>>(reads), 17, counter,
+                probe);
+            const auto displ = counter.displacementStats();
+            table.newRow()
+                .cell(scheme == HashScheme::kLinear ? "linear"
+                                                    : "robin-hood")
+                .cell(cap_log2)
+                .cellF(counter.loadFactor(), 2)
+                .cellF(static_cast<double>(stats.probe_steps) /
+                           static_cast<double>(stats.total_kmers),
+                       2)
+                .cellF(displ.mean, 2)
+                .cell(displ.max)
+                .cellF(timer.seconds(), 3);
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: mean displacement is similar, but "
+                 "robin-hood sharply bounds the *maximum* probe "
+                 "chain at high load — the worst-case lookup cost "
+                 "that hurts a cache-hostile table.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 4 reproduction: distribution of data-parallel work across tasks
+ * of the irregular benchmarks — mean, max, and the max/mean imbalance
+ * ratio. The paper measures ratios of 4.1-8.3x across kernels with
+ * phmm's tail reaching ~1000x (mean 5.2M vs max 4.41G cell updates).
+ */
+#include <iostream>
+
+#include "harness.h"
+#include "util/stats.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gb;
+    const auto options = bench::Options::parse(argc, argv);
+    bench::printHeader("Fig. 4", "per-task work distribution /"
+                                 " imbalance",
+                       options);
+
+    Table table("Per-task data-parallel work");
+    table.setHeader({"kernel", "work unit", "tasks", "mean", "p99",
+                     "max", "max/mean"});
+    for (const auto& name : options.kernelList()) {
+        auto kernel = createKernel(name);
+        const auto& info = kernel->info();
+        if (info.regular) continue; // Fig. 4 covers irregular kernels
+        kernel->prepare(options.size);
+        const auto work = kernel->taskWork();
+        RunningStats stats;
+        std::vector<double> samples;
+        samples.reserve(work.size());
+        for (u64 w : work) {
+            stats.add(static_cast<double>(w));
+            samples.push_back(static_cast<double>(w));
+        }
+        table.newRow()
+            .cell(info.name)
+            .cell(info.work_unit)
+            .cell(stats.count())
+            .cell(formatCount(static_cast<u64>(stats.mean())))
+            .cell(formatCount(
+                static_cast<u64>(percentile(samples, 99.0))))
+            .cell(formatCount(static_cast<u64>(stats.max())))
+            .cellF(stats.imbalance(), 1);
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: every irregular kernel shows "
+                 "max/mean well above 1; phmm has the heaviest tail "
+                 "(paper: up to ~1000x on whole-chromosome input).\n";
+    return 0;
+}

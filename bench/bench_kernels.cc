@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-kernel wall-clock microbenchmarks (google-benchmark): one timed
+ * entry per suite kernel on the small dataset, single-threaded, plus a
+ * 4-thread variant. This is the suite's "runtime" view complementing
+ * the per-table characterization binaries.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/benchmark.h"
+
+namespace {
+
+using namespace gb;
+
+void
+runKernel(benchmark::State& state, const std::string& name,
+          unsigned threads)
+{
+    auto kernel = createKernel(name);
+    kernel->prepare(DatasetSize::kTiny);
+    ThreadPool pool(threads);
+    u64 tasks = 0;
+    for (auto _ : state) {
+        tasks = kernel->run(pool);
+    }
+    state.counters["tasks"] = static_cast<double>(tasks);
+    state.SetItemsProcessed(static_cast<i64>(tasks) *
+                            state.iterations());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace gb;
+    for (const auto& name : kernelNames()) {
+        for (unsigned threads : {1u, 4u}) {
+            benchmark::RegisterBenchmark(
+                (name + "/threads:" + std::to_string(threads)).c_str(),
+                [name, threads](benchmark::State& state) {
+                    runKernel(state, name, threads);
+                })
+                ->Unit(benchmark::kMillisecond)
+                ->MinTime(0.2);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

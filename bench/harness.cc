@@ -1,0 +1,89 @@
+#include "harness.h"
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+namespace gb::bench {
+
+Options
+Options::parse(int argc, char** argv, DatasetSize default_size)
+{
+    Options opt;
+    opt.size = default_size;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char* prefix) -> std::string {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--size=", 0) == 0) {
+            const std::string v = value("--size=");
+            if (v == "tiny") {
+                opt.size = DatasetSize::kTiny;
+            } else if (v == "small") {
+                opt.size = DatasetSize::kSmall;
+            } else if (v == "large") {
+                opt.size = DatasetSize::kLarge;
+            } else {
+                throw InputError("unknown --size value: " + v);
+            }
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opt.threads = static_cast<unsigned>(
+                std::stoul(value("--threads=")));
+        } else if (arg.rfind("--kernels=", 0) == 0) {
+            std::istringstream list(value("--kernels="));
+            std::string name;
+            while (std::getline(list, name, ',')) {
+                if (!name.empty()) opt.kernels.push_back(name);
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "options: --size=tiny|small|large "
+                         "--threads=N --kernels=a,b,c\n";
+            std::exit(0);
+        } else {
+            throw InputError("unknown option: " + arg);
+        }
+    }
+    return opt;
+}
+
+std::vector<std::string>
+Options::kernelList() const
+{
+    if (kernels.empty()) return kernelNames();
+    return kernels;
+}
+
+const char*
+sizeName(DatasetSize size)
+{
+    switch (size) {
+      case DatasetSize::kTiny: return "tiny";
+      case DatasetSize::kSmall: return "small";
+      case DatasetSize::kLarge: return "large";
+    }
+    return "?";
+}
+
+double
+timeRun(Benchmark& kernel, ThreadPool& pool)
+{
+    WallTimer timer;
+    kernel.run(pool);
+    return timer.seconds();
+}
+
+void
+printHeader(const std::string& experiment, const std::string& paper_ref,
+            const Options& options)
+{
+    std::cout << "### GenomicsBench reproduction: " << experiment
+              << "\n### paper reference: " << paper_ref
+              << "\n### dataset: " << sizeName(options.size)
+              << ", threads: "
+              << (options.threads ? std::to_string(options.threads)
+                                  : std::string("auto"))
+              << "\n\n";
+}
+
+} // namespace gb::bench

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench binaries.
+ *
+ * Every binary accepts:
+ *   --size=tiny|small|large   dataset preset (default per binary)
+ *   --threads=N               worker threads for timed runs
+ *   --kernels=a,b,c           restrict to a kernel subset
+ */
+#ifndef GB_BENCH_HARNESS_H
+#define GB_BENCH_HARNESS_H
+
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "util/common.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace gb::bench {
+
+/** Parsed command-line options. */
+struct Options
+{
+    DatasetSize size = DatasetSize::kSmall;
+    unsigned threads = 0; ///< 0 = hardware concurrency
+    std::vector<std::string> kernels; ///< empty = all
+
+    static Options parse(int argc, char** argv,
+                         DatasetSize default_size = DatasetSize::kSmall);
+
+    /** Kernel names honouring --kernels. */
+    std::vector<std::string> kernelList() const;
+};
+
+/** Human-readable dataset-size name. */
+const char* sizeName(DatasetSize size);
+
+/** Time one full run() of a prepared kernel. */
+double timeRun(Benchmark& kernel, ThreadPool& pool);
+
+/** Print the standard bench header line. */
+void printHeader(const std::string& experiment,
+                 const std::string& paper_ref, const Options& options);
+
+} // namespace gb::bench
+
+#endif // GB_BENCH_HARNESS_H

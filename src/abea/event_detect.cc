@@ -1,0 +1,83 @@
+#include "abea/event_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gb {
+
+namespace {
+
+/** Mean and variance of samples[lo, hi). */
+std::pair<double, double>
+meanVar(std::span<const float> samples, u64 lo, u64 hi)
+{
+    double sum = 0.0;
+    for (u64 i = lo; i < hi; ++i) sum += samples[i];
+    const double n = static_cast<double>(hi - lo);
+    const double mean = sum / n;
+    double var = 0.0;
+    for (u64 i = lo; i < hi; ++i) {
+        const double d = samples[i] - mean;
+        var += d * d;
+    }
+    return {mean, var / std::max(1.0, n - 1.0)};
+}
+
+} // namespace
+
+std::vector<Event>
+detectEvents(std::span<const float> samples,
+             const EventDetectParams& params)
+{
+    std::vector<Event> events;
+    const u64 n = samples.size();
+    const u64 w = params.window;
+    if (n < 2 * w + 1) {
+        if (n == 0) return events;
+        const auto [mean, var] = meanVar(samples, 0, n);
+        events.push_back({0, static_cast<u32>(n),
+                          static_cast<float>(mean),
+                          static_cast<float>(std::sqrt(var))});
+        return events;
+    }
+
+    // Welch t-statistic between the w samples before and after each
+    // candidate boundary.
+    std::vector<double> tstat(n, 0.0);
+    for (u64 i = w; i + w <= n; ++i) {
+        const auto [m1, v1] = meanVar(samples, i - w, i);
+        const auto [m2, v2] = meanVar(samples, i, i + w);
+        const double denom =
+            std::sqrt((v1 + v2) / static_cast<double>(w) + 1e-9);
+        tstat[i] = std::abs(m1 - m2) / denom;
+    }
+
+    // Boundaries = local maxima above threshold, separated by at
+    // least min_event_len.
+    std::vector<u64> boundaries;
+    boundaries.push_back(0);
+    for (u64 i = w; i + w <= n; ++i) {
+        const bool peak = tstat[i] >= params.threshold &&
+                          tstat[i] >= tstat[i - 1] &&
+                          tstat[i] >= tstat[i + 1];
+        if (peak &&
+            i - boundaries.back() >= params.min_event_len) {
+            boundaries.push_back(i);
+        }
+    }
+    boundaries.push_back(n);
+
+    events.reserve(boundaries.size() - 1);
+    for (size_t b = 0; b + 1 < boundaries.size(); ++b) {
+        const u64 lo = boundaries[b];
+        const u64 hi = boundaries[b + 1];
+        if (hi <= lo) continue;
+        const auto [mean, var] = meanVar(samples, lo, hi);
+        events.push_back({lo, static_cast<u32>(hi - lo),
+                          static_cast<float>(mean),
+                          static_cast<float>(std::sqrt(var))});
+    }
+    return events;
+}
+
+} // namespace gb

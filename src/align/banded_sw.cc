@@ -1,0 +1,13 @@
+#include "align/banded_sw.h"
+
+namespace gb {
+
+SwResult
+bandedSw(std::span<const u8> query, std::span<const u8> target,
+         const SwParams& params)
+{
+    NullProbe probe;
+    return bandedSwScalar(query, target, params, probe);
+}
+
+} // namespace gb

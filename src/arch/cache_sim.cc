@@ -1,0 +1,154 @@
+#include "arch/cache_sim.h"
+
+#include <bit>
+
+namespace gb {
+
+namespace {
+
+u32
+log2u(u64 x)
+{
+    return static_cast<u32>(std::bit_width(x) - 1);
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config) : config_(config)
+{
+    const u64 lines = config.size_bytes / config.line_bytes;
+    num_sets_ = static_cast<u32>(lines / config.associativity);
+    if (num_sets_ == 0) num_sets_ = 1;
+    ways_.assign(static_cast<size_t>(num_sets_) * config.associativity,
+                 Way{});
+}
+
+bool
+CacheLevel::access(u64 line_addr, bool write, bool& evicted_dirty,
+                   u64& evicted_line)
+{
+    evicted_dirty = false;
+    ++stats_.accesses;
+    ++tick_;
+    const u32 set = static_cast<u32>(line_addr % num_sets_);
+    const u64 tag = line_addr / num_sets_;
+    Way* base = &ways_[static_cast<size_t>(set) * config_.associativity];
+
+    Way* victim = base;
+    for (u32 w = 0; w < config_.associativity; ++w) {
+        Way& way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.stamp = tick_;
+            way.dirty = way.dirty || write;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.stamp < victim->stamp) {
+            victim = &way;
+        }
+    }
+
+    ++stats_.misses;
+    if (victim->valid && victim->dirty) {
+        evicted_dirty = true;
+        evicted_line = victim->tag * num_sets_ + set;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->stamp = tick_;
+    victim->dirty = write;
+    return false;
+}
+
+void
+CacheLevel::reset()
+{
+    for (auto& way : ways_) way = Way{};
+    tick_ = 0;
+    stats_ = CacheLevelStats{};
+}
+
+CacheSim::CacheSim(const CacheHierarchyConfig& config)
+    : config_(config), l1_(config.l1), l2_(config.l2), llc_(config.llc),
+      open_rows_(config.dram_banks, 0),
+      line_shift_(log2u(config.l1.line_bytes))
+{
+}
+
+void
+CacheSim::dramRequest(u64 line_addr, u64 bytes)
+{
+    ++dram_.requests;
+    dram_.bytes += bytes;
+    const u64 byte_addr = line_addr << line_shift_;
+    const u64 row = byte_addr / config_.dram_row_bytes;
+    const u32 bank = static_cast<u32>(row % config_.dram_banks);
+    const u64 row_in_bank = row / config_.dram_banks;
+    if (open_rows_[bank] != row_in_bank + 1) {
+        ++dram_.row_misses;
+        open_rows_[bank] = row_in_bank + 1;
+    }
+}
+
+void
+CacheSim::access(u64 addr, u32 size, bool write)
+{
+    if (size == 0) size = 1;
+    const u32 line_bytes = config_.l1.line_bytes;
+    u64 first_line = addr >> line_shift_;
+    const u64 last_line = (addr + size - 1) >> line_shift_;
+
+    for (u64 line = first_line; line <= last_line; ++line) {
+        bool dirty_evict = false;
+        u64 victim = 0;
+        if (l1_.access(line, write, dirty_evict, victim)) continue;
+        if (line == last_miss_line_ + 1) ++seq_l1_misses_;
+        last_miss_line_ = line;
+        if (dirty_evict) {
+            // Write the L1 victim back into L2 (allocate there).
+            bool inner_dirty = false;
+            u64 inner_victim = 0;
+            if (!l2_.access(victim, true, inner_dirty, inner_victim) &&
+                inner_dirty) {
+                bool llc_dirty = false;
+                u64 llc_victim = 0;
+                if (!llc_.access(inner_victim, true, llc_dirty,
+                                 llc_victim) &&
+                    llc_dirty) {
+                    dramRequest(llc_victim, line_bytes);
+                }
+            }
+        }
+
+        dirty_evict = false;
+        if (l2_.access(line, false, dirty_evict, victim)) continue;
+        if (dirty_evict) {
+            bool llc_dirty = false;
+            u64 llc_victim = 0;
+            if (!llc_.access(victim, true, llc_dirty, llc_victim) &&
+                llc_dirty) {
+                dramRequest(llc_victim, line_bytes);
+            }
+        }
+
+        dirty_evict = false;
+        if (llc_.access(line, false, dirty_evict, victim)) continue;
+        if (dirty_evict) dramRequest(victim, line_bytes);
+        dramRequest(line, line_bytes); // line fill from DRAM
+    }
+}
+
+void
+CacheSim::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    llc_.reset();
+    dram_ = DramStats{};
+    open_rows_.assign(config_.dram_banks, 0);
+    last_miss_line_ = ~u64{0};
+    seq_l1_misses_ = 0;
+}
+
+} // namespace gb

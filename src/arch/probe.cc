@@ -1,0 +1,39 @@
+#include "arch/probe.h"
+
+#include "arch/cache_sim.h"
+
+namespace gb {
+
+const char*
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::kIntAlu: return "int";
+      case OpClass::kFpAlu: return "fp";
+      case OpClass::kVecAlu: return "vector";
+      case OpClass::kLoad: return "load";
+      case OpClass::kStore: return "store";
+      case OpClass::kBranch: return "branch";
+      case OpClass::kOther: return "other";
+      case OpClass::kNumClasses: break;
+    }
+    return "?";
+}
+
+void
+CharProbe::load(const void* addr, u32 size)
+{
+    counts_[OpClass::kLoad] += detail::memOpsFor(size);
+    load_bytes_ += size;
+    if (cache_) cache_->access(addr, size, false);
+}
+
+void
+CharProbe::store(const void* addr, u32 size)
+{
+    counts_[OpClass::kStore] += detail::memOpsFor(size);
+    store_bytes_ += size;
+    if (cache_) cache_->access(addr, size, true);
+}
+
+} // namespace gb

@@ -1,0 +1,125 @@
+#include "arch/simt.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gb {
+
+double
+SimtStats::branchEfficiency() const
+{
+    if (branch_decisions == 0) return 1.0;
+    return 1.0 - static_cast<double>(divergent_branches) /
+                     static_cast<double>(branch_decisions);
+}
+
+double
+SimtStats::warpEfficiency(u32 warp_size) const
+{
+    if (warp_instructions == 0) return 0.0;
+    return static_cast<double>(active_lane_slots) /
+           static_cast<double>(warp_instructions * warp_size);
+}
+
+double
+SimtStats::nonPredicatedEfficiency(u32 warp_size) const
+{
+    if (warp_instructions == 0) return 0.0;
+    return static_cast<double>(useful_lane_slots) /
+           static_cast<double>(warp_instructions * warp_size);
+}
+
+double
+SimtStats::globalLoadEfficiency(u32 segment) const
+{
+    if (load_transactions == 0) return 0.0;
+    return static_cast<double>(load_useful_bytes) /
+           static_cast<double>(load_transactions * segment);
+}
+
+double
+SimtStats::globalStoreEfficiency(u32 segment) const
+{
+    if (store_transactions == 0) return 0.0;
+    return static_cast<double>(store_useful_bytes) /
+           static_cast<double>(store_transactions * segment);
+}
+
+void
+SimtModel::memAccess(std::span<const u64> lane_addrs, u32 bytes,
+                     bool write)
+{
+    if (lane_addrs.empty()) return;
+    std::set<u64> segments;
+    for (u64 addr : lane_addrs) {
+        const u64 first = addr / config_.mem_segment_bytes;
+        const u64 last =
+            (addr + bytes - 1) / config_.mem_segment_bytes;
+        for (u64 s = first; s <= last; ++s) segments.insert(s);
+    }
+    const u64 useful = static_cast<u64>(lane_addrs.size()) * bytes;
+    if (write) {
+        ++stats_.store_requests;
+        stats_.store_transactions += segments.size();
+        stats_.store_useful_bytes += useful;
+    } else {
+        ++stats_.load_requests;
+        stats_.load_transactions += segments.size();
+        stats_.load_useful_bytes += useful;
+    }
+}
+
+void
+SimtModel::launch(u64 blocks, u32 threads_per_block, u64 shared_per_block,
+                  u32 regs_per_thread)
+{
+    const u32 warps_per_block =
+        std::max(1u, ceilDiv(threads_per_block, config_.warp_size));
+    // Blocks resident per SM limited by warp slots, shared memory and
+    // the register file.
+    u64 by_warps = config_.max_warps_per_sm / warps_per_block;
+    u64 by_shared = shared_per_block
+                        ? config_.shared_mem_per_sm / shared_per_block
+                        : by_warps;
+    u64 by_regs =
+        regs_per_thread
+            ? config_.regs_per_sm /
+                  (static_cast<u64>(threads_per_block) * regs_per_thread)
+            : by_warps;
+    const u64 resident_blocks = std::max<u64>(
+        1, std::min<u64>({by_warps, std::max<u64>(1, by_shared),
+                          std::max<u64>(1, by_regs)}));
+    const double resident_warps = static_cast<double>(
+        std::min<u64>(resident_blocks * warps_per_block,
+                      config_.max_warps_per_sm));
+    const double occupancy =
+        resident_warps / static_cast<double>(config_.max_warps_per_sm);
+
+    // A launch keeps all SMs busy while enough blocks remain; the tail
+    // leaves some SMs idle.
+    const u64 blocks_per_wave = resident_blocks * config_.num_sms;
+    const u64 full_waves = blocks / blocks_per_wave;
+    const u64 tail = blocks % blocks_per_wave;
+    const double waves =
+        static_cast<double>(full_waves) + (tail ? 1.0 : 0.0);
+    double utilization = 1.0;
+    if (waves > 0.0) {
+        const double tail_util =
+            tail ? std::min(1.0, static_cast<double>(
+                                     ceilDiv<u64>(tail, resident_blocks)) /
+                                     config_.num_sms)
+                 : 0.0;
+        utilization =
+            (static_cast<double>(full_waves) + (tail ? tail_util : 0.0)) /
+            waves;
+    }
+
+    const double weight = static_cast<double>(std::max<u64>(1, blocks));
+    occupancy_weight_ += occupancy * weight;
+    utilization_weight_ += utilization * weight;
+    launch_weight_ += weight;
+    stats_.occupancy = occupancy_weight_ / launch_weight_;
+    stats_.sm_utilization = utilization_weight_ / launch_weight_;
+}
+
+} // namespace gb

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SIMT (GPU warp) execution model (paper Tables IV and V).
+ *
+ * The paper profiles the GPU kernels (abea, nn-base) with nvprof on a
+ * Titan Xp. With no GPU available, the GPU kernels' launch structure is
+ * replayed through this model: drivers report, warp by warp, how many
+ * lanes were active at each step and which global addresses each lane
+ * touched. The model aggregates the nvprof metrics:
+ *
+ *  - branch efficiency: fraction of branch decisions that were warp-
+ *    uniform (no divergence);
+ *  - warp execution efficiency: average active-lane fraction per
+ *    executed warp instruction;
+ *  - non-predicated efficiency: same, excluding lanes that executed
+ *    but were predicated off;
+ *  - occupancy / SM utilization: resident-warp bookkeeping from block
+ *    sizes and shared-memory limits;
+ *  - global load/store efficiency: useful bytes divided by the bytes
+ *    moved in 32 B memory transactions after coalescing.
+ */
+#ifndef GB_ARCH_SIMT_H
+#define GB_ARCH_SIMT_H
+
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** GPU hardware parameters (Pascal GP102 Titan Xp-like defaults). */
+struct SimtConfig
+{
+    u32 warp_size = 32;
+    u32 max_warps_per_sm = 64;
+    u32 num_sms = 30;
+    u64 shared_mem_per_sm = 96 * 1024;
+    u64 regs_per_sm = 64 * 1024;
+    u32 mem_segment_bytes = 32;
+};
+
+/** Aggregated nvprof-style metrics. */
+struct SimtStats
+{
+    u64 warp_instructions = 0;  ///< warp-level executed instructions
+    u64 active_lane_slots = 0;  ///< sum of active lanes over those
+    u64 useful_lane_slots = 0;  ///< active minus predicated-off lanes
+    u64 branch_decisions = 0;
+    u64 divergent_branches = 0;
+
+    u64 load_requests = 0;
+    u64 load_transactions = 0;  ///< 32B segments moved for loads
+    u64 load_useful_bytes = 0;
+    u64 store_requests = 0;
+    u64 store_transactions = 0;
+    u64 store_useful_bytes = 0;
+
+    double occupancy = 0.0;       ///< resident warps / max warps
+    double sm_utilization = 0.0;  ///< fraction of SMs kept busy
+
+    double branchEfficiency() const;
+    double warpEfficiency(u32 warp_size = 32) const;
+    double nonPredicatedEfficiency(u32 warp_size = 32) const;
+    double globalLoadEfficiency(u32 segment = 32) const;
+    double globalStoreEfficiency(u32 segment = 32) const;
+};
+
+/** Collects lane activity reported by a GPU-kernel replay driver. */
+class SimtModel
+{
+  public:
+    explicit SimtModel(const SimtConfig& config = {})
+        : config_(config) {}
+
+    const SimtConfig& config() const { return config_; }
+    const SimtStats& stats() const { return stats_; }
+
+    /**
+     * Record one warp instruction.
+     *
+     * @param active_lanes     Lanes participating (<= warp size).
+     * @param predicated_off   Of those, lanes executing a predicated
+     *                         no-op.
+     */
+    void
+    step(u32 active_lanes, u32 predicated_off = 0)
+    {
+        ++stats_.warp_instructions;
+        stats_.active_lane_slots += active_lanes;
+        stats_.useful_lane_slots += active_lanes - predicated_off;
+    }
+
+    /** Record `n` fully active warp instructions. */
+    void
+    uniformSteps(u64 n)
+    {
+        stats_.warp_instructions += n;
+        stats_.active_lane_slots += n * config_.warp_size;
+        stats_.useful_lane_slots += n * config_.warp_size;
+    }
+
+    /** Record `n` identical warp instructions in bulk. */
+    void
+    steps(u64 n, u32 active_lanes, u32 predicated_off = 0)
+    {
+        stats_.warp_instructions += n;
+        stats_.active_lane_slots += n * active_lanes;
+        stats_.useful_lane_slots +=
+            n * (active_lanes - predicated_off);
+    }
+
+    /** Record a branch decision; divergent if lanes disagree. */
+    void
+    branch(bool divergent)
+    {
+        ++stats_.branch_decisions;
+        if (divergent) ++stats_.divergent_branches;
+    }
+
+    /**
+     * Record one warp-wide global memory access after coalescing.
+     *
+     * @param lane_addrs Byte address per active lane.
+     * @param bytes      Useful bytes accessed per lane.
+     * @param write      Store rather than load.
+     */
+    void memAccess(std::span<const u64> lane_addrs, u32 bytes, bool write);
+
+    /**
+     * Record kernel-launch geometry for occupancy/SM utilization.
+     *
+     * @param blocks            Grid size.
+     * @param threads_per_block Block size.
+     * @param shared_per_block  Dynamic+static shared memory per block.
+     * @param regs_per_thread   Register usage (0 = unconstrained).
+     */
+    void launch(u64 blocks, u32 threads_per_block, u64 shared_per_block,
+                u32 regs_per_thread = 0);
+
+  private:
+    SimtConfig config_;
+    SimtStats stats_;
+    // Occupancy across launches is averaged weighted by blocks.
+    double occupancy_weight_ = 0.0;
+    double utilization_weight_ = 0.0;
+    double launch_weight_ = 0.0;
+};
+
+} // namespace gb
+
+#endif // GB_ARCH_SIMT_H

@@ -1,0 +1,82 @@
+#include "arch/topdown.h"
+
+#include <algorithm>
+
+namespace gb {
+
+TopDownResult
+topDownAnalyze(const OpCounts& counts, const CacheSim& cache,
+               u64 mispredicts, const CoreModelConfig& config)
+{
+    TopDownResult r;
+    const double ops = static_cast<double>(counts.total());
+    if (ops <= 0.0) return r;
+
+    const auto count = [&](OpClass c) {
+        return static_cast<double>(counts[c]);
+    };
+
+    // Port-pressure core cycles: the binding resource among issue
+    // width, int ports, vector/FP ports and AGU/load/store ports.
+    const double cycles_width = ops / config.issue_width;
+    const double cycles_int = count(OpClass::kIntAlu) / config.int_ports;
+    const double cycles_vecfp =
+        (count(OpClass::kVecAlu) + count(OpClass::kFpAlu)) /
+        config.vec_fp_ports;
+    const double cycles_load = count(OpClass::kLoad) / config.load_ports;
+    const double cycles_store =
+        count(OpClass::kStore) / config.store_ports;
+    const double cycles_core =
+        std::max({cycles_width, cycles_int, cycles_vecfp, cycles_load,
+                  cycles_store});
+
+    // Memory stall cycles from the cache simulator, discounted by MLP
+    // and by prefetchability (irregular access streams, measured via
+    // the DRAM row-miss rate, expose far more latency than sequential
+    // ones, which the hardware prefetchers cover).
+    const auto& l1 = cache.l1Stats();
+    const auto& l2 = cache.l2Stats();
+    const auto& llc = cache.llcStats();
+    const double l2_hits =
+        static_cast<double>(l1.misses) - static_cast<double>(l2.misses);
+    const double llc_hits =
+        static_cast<double>(l2.misses) - static_cast<double>(llc.misses);
+    const double exposure =
+        config.dram_base_exposure +
+        (1.0 - config.dram_base_exposure) *
+            cache.dramStats().rowMissRate();
+    // Sequential miss streams are covered by the L2 prefetchers;
+    // their residual hit latency mostly vanishes.
+    const double prefetch_discount =
+        1.0 - 0.85 * cache.sequentialMissRate();
+    const double stall_raw =
+        (std::max(0.0, l2_hits) * config.l2_residual +
+         std::max(0.0, llc_hits) * config.llc_residual) *
+            prefetch_discount +
+        static_cast<double>(llc.misses) * config.dram_latency *
+            exposure;
+    const double cycles_memory = stall_raw / config.mlp;
+
+    // Bad speculation: wasted slots from pipeline refills.
+    const double cycles_badspec =
+        static_cast<double>(mispredicts) * config.mispredict_penalty;
+
+    const double cycles_useful = ops / config.issue_width;
+    const double cycles_total =
+        cycles_core + cycles_memory + cycles_badspec;
+    const double total =
+        cycles_total / std::max(1e-9, 1.0 - config.frontend_tax);
+
+    r.total_cycles = total;
+    r.stall_cycle_fraction = cycles_memory / total;
+    r.retiring = cycles_useful / total;
+    r.frontend_bound = config.frontend_tax;
+    r.bad_speculation = cycles_badspec / total;
+    r.backend_memory = cycles_memory / total;
+    r.backend_core = std::max(
+        0.0, 1.0 - r.retiring - r.frontend_bound - r.bad_speculation -
+                 r.backend_memory);
+    return r;
+}
+
+} // namespace gb

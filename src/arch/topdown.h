@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytical top-down pipeline-slot model (paper Fig. 9).
+ *
+ * VTune's top-down analysis attributes issue slots to Retiring,
+ * Front-end Bound, Bad Speculation and Back-end Bound (split into
+ * memory- and core-bound). We reproduce the *attribution* analytically
+ * from probe measurements on a 4-wide out-of-order core model:
+ *
+ *  - core cycles follow from port pressure (4 scalar-int issue slots,
+ *    2 vector/FP ports, 2 load + 1 store port per cycle — Skylake-like,
+ *    matching the paper's "limited number of available ports for
+ *    scheduling vector and floating point instructions");
+ *  - memory stall cycles follow from the cache simulator's miss counts
+ *    and nominal hit/miss latencies, divided by a memory-level
+ *    parallelism factor;
+ *  - bad-speculation slots follow from the probe's branch predictor
+ *    model (mispredicts x refill penalty);
+ *  - front-end slots are a small fixed tax plus an i-cache-pressure
+ *    term (genomics kernels have tiny instruction footprints, and the
+ *    paper measures negligible front-end bound for all of them).
+ */
+#ifndef GB_ARCH_TOPDOWN_H
+#define GB_ARCH_TOPDOWN_H
+
+#include "arch/cache_sim.h"
+#include "arch/probe.h"
+
+namespace gb {
+
+/** Core latency/width parameters; defaults are Skylake-client-like. */
+struct CoreModelConfig
+{
+    double issue_width = 4.0;       ///< slots per cycle
+    double int_ports = 4.0;
+    double vec_fp_ports = 2.0;
+    double load_ports = 2.0;
+    double store_ports = 1.0;
+    /**
+     * Exposed (non-hidden) miss costs. Out-of-order execution and the
+     * stream prefetchers hide most L2/LLC hit latency, so only a
+     * small residual is charged; DRAM latency is charged in
+     * proportion to the access irregularity (measured as the DRAM
+     * row-buffer miss rate: sequential streams are prefetched, random
+     * accesses stall the pipeline).
+     */
+    double l2_residual = 2.0;       ///< cycles, L1 miss -> L2 hit
+    double llc_residual = 5.0;      ///< cycles, L2 miss -> LLC hit
+    double dram_latency = 200.0;    ///< cycles, LLC miss (exposed)
+    double dram_base_exposure = 0.12; ///< exposure at 0 % row misses
+    double mlp = 3.0;               ///< overlapping outstanding misses
+    double mispredict_penalty = 15.0;
+    double frontend_tax = 0.02;     ///< fixed fraction of slots
+};
+
+/** Slot attribution, fractions summing to 1. */
+struct TopDownResult
+{
+    double retiring = 0.0;
+    double frontend_bound = 0.0;
+    double bad_speculation = 0.0;
+    double backend_memory = 0.0;
+    double backend_core = 0.0;
+
+    double total_cycles = 0.0;      ///< modelled core cycles
+    double stall_cycle_fraction = 0.0; ///< memory stalls / cycles (Fig 8)
+};
+
+/**
+ * Attribute pipeline slots from measured op counts + cache behaviour.
+ *
+ * @param counts      Operation-class counts from a probe.
+ * @param cache       Cache simulator the probe fed (hit/miss counts).
+ * @param mispredicts Branch mispredictions from the probe model.
+ * @param config      Core parameters.
+ */
+TopDownResult topDownAnalyze(const OpCounts& counts, const CacheSim& cache,
+                             u64 mispredicts,
+                             const CoreModelConfig& config = {});
+
+} // namespace gb
+
+#endif // GB_ARCH_TOPDOWN_H

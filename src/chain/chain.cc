@@ -1,0 +1,134 @@
+#include "chain/chain.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "kmer/kmer_counter.h"
+
+namespace gb {
+
+namespace {
+
+/** Invertible 64-bit mix (minimap2's hash64). */
+u64
+hash64(u64 key, u64 mask)
+{
+    key = (~key + (key << 21)) & mask;
+    key = key ^ (key >> 24);
+    key = ((key + (key << 3)) + (key << 8)) & mask;
+    key = key ^ (key >> 14);
+    key = ((key + (key << 2)) + (key << 4)) & mask;
+    key = key ^ (key >> 28);
+    key = (key + (key << 31)) & mask;
+    return key;
+}
+
+} // namespace
+
+std::vector<Minimizer>
+extractMinimizers(std::span<const u8> codes, const MinimizerParams& p)
+{
+    requireInput(p.k >= 4 && p.k <= 28, "minimizer k must be in [4,28]");
+    requireInput(p.w >= 1 && p.w <= 256, "minimizer w must be in [1,256]");
+    std::vector<Minimizer> out;
+    if (codes.size() < p.k) return out;
+
+    const u64 mask = (u64{1} << (2 * p.k)) - 1;
+
+    // Per-position hashed k-mers (strand-resolved), then window minima.
+    struct Cand
+    {
+        u64 hash = ~u64{0};
+        u32 pos = 0;
+        bool rev = false;
+        bool valid = false;
+    };
+    const u64 num_kmers = codes.size() - p.k + 1;
+    std::vector<Cand> cands(num_kmers);
+
+    u64 fwd = 0;
+    u64 rev = 0;
+    u32 filled = 0;
+    for (u64 i = 0; i < codes.size(); ++i) {
+        const u8 c = codes[i];
+        if (c >= 4) {
+            filled = 0;
+            fwd = rev = 0;
+            continue;
+        }
+        fwd = ((fwd << 2) | c) & mask;
+        rev = (rev >> 2) |
+              (static_cast<u64>(3 - c) << (2 * (p.k - 1)));
+        if (++filled < p.k) continue;
+        const u64 kpos = i + 1 - p.k;
+        if (fwd == rev) continue; // strand-ambiguous, skip (minimap2)
+        Cand& cand = cands[kpos];
+        cand.rev = rev < fwd;
+        cand.hash = hash64(cand.rev ? rev : fwd, mask);
+        cand.pos = static_cast<u32>(i); // last base of k-mer
+        cand.valid = true;
+    }
+
+    // Window minima over w consecutive k-mer starts.
+    if (num_kmers < p.w) return out;
+    for (u64 win = 0; win + p.w <= num_kmers; ++win) {
+        const Cand* best = nullptr;
+        for (u64 j = win; j < win + p.w; ++j) {
+            if (!cands[j].valid) continue;
+            if (!best || cands[j].hash < best->hash) best = &cands[j];
+        }
+        if (!best) continue;
+        if (out.empty() || out.back().pos != best->pos ||
+            out.back().hash != best->hash) {
+            out.push_back({best->hash, best->pos, best->rev});
+        }
+    }
+    return out;
+}
+
+std::vector<Anchor>
+matchAnchors(std::span<const Minimizer> target,
+             std::span<const Minimizer> query, u32 span)
+{
+    std::unordered_multimap<u64, const Minimizer*> index;
+    index.reserve(target.size());
+    for (const auto& m : target) index.emplace(m.hash, &m);
+
+    std::vector<Anchor> anchors;
+    for (const auto& q : query) {
+        auto [lo, hi] = index.equal_range(q.hash);
+        for (auto it = lo; it != hi; ++it) {
+            const Minimizer& t = *it->second;
+            if (t.rev != q.rev) continue; // same relative strand only
+            anchors.push_back({t.pos, q.pos, span});
+        }
+    }
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                  return a.tpos < b.tpos ||
+                         (a.tpos == b.tpos && a.qpos < b.qpos);
+              });
+    anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                  anchors.end());
+    return anchors;
+}
+
+std::vector<Chain>
+chainAnchors(std::span<const Anchor> anchors, const ChainParams& params)
+{
+    NullProbe probe;
+    return chainAnchors(anchors, params, probe);
+}
+
+i32
+overlapScore(std::span<const u8> target, std::span<const u8> query,
+             const MinimizerParams& mp, const ChainParams& cp)
+{
+    const auto tm = extractMinimizers(target, mp);
+    const auto qm = extractMinimizers(query, mp);
+    const auto anchors = matchAnchors(tm, qm, mp.k);
+    const auto chains = chainAnchors(anchors, cp);
+    return chains.empty() ? 0 : chains.front().score;
+}
+
+} // namespace gb

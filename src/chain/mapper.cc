@@ -1,0 +1,96 @@
+#include "chain/mapper.h"
+
+#include <algorithm>
+
+#include "io/dna.h"
+
+namespace gb {
+
+ReferenceMapper::ReferenceMapper(std::span<const u8> ref_codes,
+                                 const MinimizerParams& mp,
+                                 const ChainParams& cp, u32 max_occ)
+    : mp_(mp), cp_(cp), ref_len_(ref_codes.size())
+{
+    requireInput(ref_codes.size() >= mp.k,
+                 "reference mapper: reference shorter than k");
+    const auto mins = extractMinimizers(ref_codes, mp);
+    index_.reserve(mins.size());
+    for (const auto& m : mins) {
+        index_[m.hash].push_back({m.pos, m.rev});
+    }
+    // Mask repetitive minimizers (Minimap2's high-frequency filter).
+    for (auto it = index_.begin(); it != index_.end();) {
+        if (it->second.size() > max_occ) {
+            masked_ += it->second.size();
+            it = index_.erase(it);
+        } else {
+            indexed_ += it->second.size();
+            ++it;
+        }
+    }
+}
+
+std::vector<Anchor>
+ReferenceMapper::anchorsFor(
+    const std::vector<Minimizer>& query_mins) const
+{
+    std::vector<Anchor> anchors;
+    for (const auto& qm : query_mins) {
+        const auto it = index_.find(qm.hash);
+        if (it == index_.end()) continue;
+        for (const auto& site : it->second) {
+            if (site.rev != qm.rev) continue; // same relative strand
+            anchors.push_back({site.pos, qm.pos, mp_.k});
+        }
+    }
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                  return a.tpos < b.tpos ||
+                         (a.tpos == b.tpos && a.qpos < b.qpos);
+              });
+    anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                  anchors.end());
+    return anchors;
+}
+
+Mapping
+ReferenceMapper::map(std::span<const u8> query) const
+{
+    Mapping best;
+    if (query.size() < mp_.k) return best;
+
+    // Forward orientation.
+    const auto fwd_mins = extractMinimizers(query, mp_);
+    // Reverse-complement orientation.
+    std::vector<u8> rc(query.size());
+    for (size_t i = 0; i < query.size(); ++i) {
+        rc[query.size() - 1 - i] = complementCode(query[i]);
+    }
+    const auto rev_mins =
+        extractMinimizers(std::span<const u8>(rc), mp_);
+
+    for (const bool reverse : {false, true}) {
+        const auto& mins = reverse ? rev_mins : fwd_mins;
+        const auto anchors = anchorsFor(mins);
+        if (anchors.size() < cp_.min_anchors) continue;
+        const auto chains = chainAnchors(anchors, cp_);
+        if (chains.empty()) continue;
+        const Chain& top = chains.front();
+        if (top.score <= best.score) continue;
+
+        const Anchor& first = anchors[top.anchors.front()];
+        // Anchor positions are k-mer end positions; project the query
+        // start onto the reference.
+        const i64 start = static_cast<i64>(first.tpos) -
+                          static_cast<i64>(first.qpos);
+        best.mapped = true;
+        best.reverse = reverse;
+        best.score = top.score;
+        best.num_anchors = static_cast<u32>(top.anchors.size());
+        best.ref_pos = static_cast<u64>(std::clamp<i64>(
+            start, 0, static_cast<i64>(ref_len_) - 1));
+    }
+    return best;
+}
+
+} // namespace gb

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimizer-index read-to-reference mapper.
+ *
+ * Completes the Minimap2 workflow around the chain kernel: the
+ * reference's minimizers go into a hash index once; each query is
+ * sketched, anchored against the index (both orientations) and chained,
+ * and the best chain yields a mapping position. This is the mapper the
+ * paper's metagenomics pipeline (Fig. 1c) runs per read, and the
+ * overlap step of Fig. 1b applied read-vs-reference.
+ */
+#ifndef GB_CHAIN_MAPPER_H
+#define GB_CHAIN_MAPPER_H
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/chain.h"
+#include "util/common.h"
+
+namespace gb {
+
+/** One mapping result. */
+struct Mapping
+{
+    bool mapped = false;
+    u64 ref_pos = 0;    ///< approximate reference start of the query
+    bool reverse = false;
+    i32 score = 0;      ///< chaining score of the best chain
+    u32 num_anchors = 0;
+};
+
+/** Minimizer index over one reference sequence. */
+class ReferenceMapper
+{
+  public:
+    /**
+     * Index a reference (2-bit codes).
+     *
+     * @param max_occ Minimizers occurring more often are masked
+     *        (repeat filtering, as in Minimap2's -f).
+     */
+    ReferenceMapper(std::span<const u8> ref_codes,
+                    const MinimizerParams& mp = {},
+                    const ChainParams& cp = {}, u32 max_occ = 64);
+
+    /** Map one query (2-bit codes); tries both orientations. */
+    Mapping map(std::span<const u8> query) const;
+
+    u64 indexedMinimizers() const { return indexed_; }
+    u64 maskedMinimizers() const { return masked_; }
+
+  private:
+    /** Anchors of `query_mins` against the index. */
+    std::vector<Anchor>
+    anchorsFor(const std::vector<Minimizer>& query_mins) const;
+
+    MinimizerParams mp_;
+    ChainParams cp_;
+    u64 ref_len_;
+    u64 indexed_ = 0;
+    u64 masked_ = 0;
+    // hash -> positions (pos, rev) packed; masked hashes removed.
+    struct Site
+    {
+        u32 pos;
+        bool rev;
+    };
+    std::unordered_map<u64, std::vector<Site>> index_;
+};
+
+} // namespace gb
+
+#endif // GB_CHAIN_MAPPER_H

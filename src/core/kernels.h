@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Internal factory functions for the 12 suite kernels (one per
+ * paper-§III benchmark). Users go through createKernel(); these are
+ * exposed for the registry and for tests that need a concrete type.
+ */
+#ifndef GB_CORE_KERNELS_H
+#define GB_CORE_KERNELS_H
+
+#include <memory>
+
+#include "core/benchmark.h"
+
+namespace gb {
+
+std::unique_ptr<Benchmark> makeFmiKernel();
+std::unique_ptr<Benchmark> makeBswKernel();
+std::unique_ptr<Benchmark> makeDbgKernel();
+std::unique_ptr<Benchmark> makePhmmKernel();
+std::unique_ptr<Benchmark> makeChainKernel();
+std::unique_ptr<Benchmark> makeSpoaKernel();
+std::unique_ptr<Benchmark> makeAbeaKernel();
+std::unique_ptr<Benchmark> makeKmerCntKernel();
+std::unique_ptr<Benchmark> makeGrmKernel();
+std::unique_ptr<Benchmark> makePileupKernel();
+std::unique_ptr<Benchmark> makeNnBaseKernel();
+std::unique_ptr<Benchmark> makeNnVariantKernel();
+
+} // namespace gb
+
+#endif // GB_CORE_KERNELS_H

@@ -1,0 +1,155 @@
+#include "dbg/debruijn.h"
+
+#include <algorithm>
+
+namespace gb {
+
+namespace {
+
+/** Decode a packed k-mer into 2-bit codes (most significant first). */
+std::vector<u8>
+decodeKmer(u64 kmer, u32 k)
+{
+    std::vector<u8> out(k);
+    for (u32 i = 0; i < k; ++i) {
+        out[k - 1 - i] = static_cast<u8>((kmer >> (2 * i)) & 3);
+    }
+    return out;
+}
+
+} // namespace
+
+i64
+DeBruijnGraph::find(u64 kmer) const
+{
+    u64 h = kmer * 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    u64 slot = h & table_mask_;
+    for (;;) {
+        if (table_keys_[slot] == kmer) return table_vals_[slot];
+        if (table_keys_[slot] == kEmptyKey) return -1;
+        slot = (slot + 1) & table_mask_;
+    }
+}
+
+u64
+DeBruijnGraph::numEdges() const
+{
+    u64 n = 0;
+    for (const auto& w : out_weight_) {
+        for (u32 c = 0; c < 4; ++c) n += w[c] > 0;
+    }
+    return n;
+}
+
+bool
+DeBruijnGraph::hasCycle() const
+{
+    // Iterative three-color DFS over all nodes.
+    enum : u8 { kWhite, kGray, kBlack };
+    std::vector<u8> color(node_kmer_.size(), kWhite);
+
+    struct Frame
+    {
+        u32 node;
+        u8 next_edge;
+    };
+    std::vector<Frame> stack;
+
+    for (u32 start = 0; start < node_kmer_.size(); ++start) {
+        if (color[start] != kWhite) continue;
+        stack.push_back({start, 0});
+        color[start] = kGray;
+        while (!stack.empty()) {
+            Frame& frame = stack.back();
+            if (frame.next_edge >= 4) {
+                color[frame.node] = kBlack;
+                stack.pop_back();
+                continue;
+            }
+            const u8 c = frame.next_edge++;
+            if (out_weight_[frame.node][c] == 0) continue;
+            const u64 next_kmer =
+                ((node_kmer_[frame.node] << 2) | c) & mask_;
+            const i64 next = find(next_kmer);
+            if (next < 0) continue; // dangling edge (split k-mer run)
+            const u32 next_node = static_cast<u32>(next);
+            if (color[next_node] == kGray) return true;
+            if (color[next_node] == kWhite) {
+                color[next_node] = kGray;
+                stack.push_back({next_node, 0});
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<std::vector<u8>>
+DeBruijnGraph::haplotypes(const DbgParams& params) const
+{
+    std::vector<std::vector<u8>> out;
+    if (source_ < 0 || sink_ < 0) return out;
+
+    struct Frame
+    {
+        u32 node;
+        u8 next_edge;
+    };
+    std::vector<Frame> stack;
+    std::vector<u8> path; // appended bases beyond the source k-mer
+    u64 steps = 0;
+
+    stack.push_back({static_cast<u32>(source_), 0});
+    if (source_ == sink_) out.push_back(decodeKmer(node_kmer_[source_],
+                                                   k_));
+
+    const u64 max_path = node_kmer_.size() + 1; // acyclic bound
+
+    while (!stack.empty()) {
+        if (++steps > params.max_path_steps ||
+            out.size() >= params.max_haplotypes) {
+            break;
+        }
+        Frame& frame = stack.back();
+        if (frame.next_edge >= 4) {
+            stack.pop_back();
+            if (!path.empty()) path.pop_back();
+            continue;
+        }
+        const u8 c = frame.next_edge++;
+        const u32 weight = out_weight_[frame.node][c];
+        const bool keep = out_is_ref_[frame.node][c] ||
+                          weight >= params.min_edge_weight;
+        if (weight == 0 || !keep) continue;
+        const u64 next_kmer =
+            ((node_kmer_[frame.node] << 2) | c) & mask_;
+        const i64 next = find(next_kmer);
+        if (next < 0) continue;
+
+        path.push_back(c);
+        if (next == sink_) {
+            // Emit: source k-mer + path bases.
+            std::vector<u8> hap = decodeKmer(node_kmer_[source_], k_);
+            hap.insert(hap.end(), path.begin(), path.end());
+            out.push_back(std::move(hap));
+            path.pop_back();
+            continue;
+        }
+        if (stack.size() >= max_path) { // safety; acyclic implies this
+            path.pop_back();
+            continue;
+        }
+        stack.push_back({static_cast<u32>(next), 0});
+    }
+    return out;
+}
+
+std::vector<std::vector<u8>>
+assembleRegion(const AssemblyRegion& region, const DbgParams& params,
+               DbgStats& stats)
+{
+    NullProbe probe;
+    return assembleRegion(region, params, stats, probe);
+}
+
+} // namespace gb

@@ -1,0 +1,308 @@
+#include "index/fm_index.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "io/dna.h"
+#include "index/suffix_array.h"
+
+namespace gb {
+
+namespace {
+
+constexpr u32 kFmMagic = 0x4742464du; // "GBFM"
+constexpr u32 kFmVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream& out, const T& value)
+{
+    out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::istream& in, T& value)
+{
+    in.read(reinterpret_cast<char*>(&value), sizeof(T));
+    requireInput(static_cast<bool>(in), "FM-index load: truncated");
+}
+
+template <typename T>
+void
+writeVec(std::ostream& out, const std::vector<T>& vec)
+{
+    writePod(out, static_cast<u64>(vec.size()));
+    out.write(reinterpret_cast<const char*>(vec.data()),
+              static_cast<std::streamsize>(vec.size() * sizeof(T)));
+}
+
+template <typename T>
+void
+readVec(std::istream& in, std::vector<T>& vec, u64 max_elems)
+{
+    u64 n = 0;
+    readPod(in, n);
+    requireInput(n <= max_elems, "FM-index load: implausible size");
+    vec.resize(n);
+    in.read(reinterpret_cast<char*>(vec.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    requireInput(static_cast<bool>(in), "FM-index load: truncated");
+}
+
+} // namespace
+
+FmIndex
+FmIndex::build(std::string_view reference, u32 block_len)
+{
+    requireInput(!reference.empty(), "FM-index: empty reference");
+    requireInput(block_len >= 8 && block_len <= 4096,
+                 "FM-index: block_len must be in [8, 4096]");
+
+    FmIndex fm;
+    fm.ref_len_ = reference.size();
+    fm.n_ = 2 * fm.ref_len_ + 2;
+    fm.block_len_ = block_len;
+
+    // Text layout: ref(codes+2) '#'(1) revcomp(codes+2) '$'(0).
+    std::vector<u8> text(fm.n_);
+    for (u64 i = 0; i < fm.ref_len_; ++i) {
+        const u8 code = baseCode(reference[i]);
+        requireInput(code < kNumBases,
+                     "FM-index: reference must be ACGT only");
+        text[i] = code + 2;
+        // Reverse complement occupies [ref_len_+1, 2*ref_len_]; the
+        // complement of base i lands at mirrored position 2L - i.
+        text[fm.n_ - 2 - i] = static_cast<u8>((3 - code) + 2);
+    }
+    text[fm.ref_len_] = kSeparator;
+    text[fm.n_ - 1] = kSentinel;
+
+    const std::vector<u32> sa = buildSuffixArray(text, kAlphabet);
+    const std::vector<u8> bwt = bwtFromSuffixArray(text, sa);
+
+    // Cumulative counts.
+    std::array<u64, kAlphabet> totals{};
+    for (u8 s : bwt) ++totals[s];
+    fm.c_[0] = 0;
+    for (u32 c = 0; c < kAlphabet; ++c) {
+        fm.c_[c + 1] = fm.c_[c] + totals[c];
+    }
+
+    // Checkpoint counts every block_len symbols + the raw BWT.
+    const u64 num_blocks = ceilDiv<u64>(fm.n_, block_len) + 1;
+    fm.counts_.assign(num_blocks * kAlphabet, 0);
+    fm.bwt_ = bwt;
+    fm.bwt_.resize(num_blocks * block_len, kSentinel);
+    std::array<u32, kAlphabet> running{};
+    for (u64 b = 0; b < num_blocks; ++b) {
+        for (u32 c = 0; c < kAlphabet; ++c) {
+            fm.counts_[b * kAlphabet + c] = running[c];
+        }
+        for (u32 j = 0; j < block_len; ++j) {
+            const u64 pos = b * block_len + j;
+            if (pos < fm.n_) ++running[bwt[pos]];
+        }
+    }
+
+    // Position-sampled SA: pos_of_row_[row] = SA[row] when sampled.
+    fm.sa_samples_.assign(fm.n_, kUnsampled);
+    for (u64 row = 0; row < fm.n_; ++row) {
+        if (sa[row] % kSaSampleRate == 0) fm.sa_samples_[row] = sa[row];
+    }
+    return fm;
+}
+
+BiInterval
+FmIndex::baseInterval(u8 base) const
+{
+    BiInterval ik;
+    ik.k = c_[base + 2];
+    ik.s = c_[base + 3] - c_[base + 2];
+    ik.l = c_[(3 - base) + 2];
+    return ik;
+}
+
+u64
+FmIndex::occOne(u8 symbol, u64 i) const
+{
+    const u64 block_idx = i / block_len_;
+    u64 count = counts_[block_idx * kAlphabet + symbol];
+    const u64 base = block_idx * block_len_;
+    for (u64 pos = base; pos < i; ++pos) {
+        if (bwt_[pos] == symbol) ++count;
+    }
+    return count;
+}
+
+u64
+FmIndex::count(std::string_view pattern) const
+{
+    requireInput(!pattern.empty(), "FM-index count: empty pattern");
+    std::vector<u8> codes = encodeDna(pattern);
+    for (u8 c : codes) {
+        if (c >= kNumBases) return 0;
+    }
+    NullProbe probe;
+    std::array<BiInterval, 4> ok;
+    BiInterval ik = baseInterval(codes.back());
+    for (i64 i = static_cast<i64>(codes.size()) - 2; i >= 0 && ik.s;
+         --i) {
+        extendBackward(ik, ok, probe);
+        ik = ok[codes[i]];
+    }
+    return ik.s;
+}
+
+void
+FmIndex::save(std::ostream& out) const
+{
+    writePod(out, kFmMagic);
+    writePod(out, kFmVersion);
+    writePod(out, ref_len_);
+    writePod(out, n_);
+    writePod(out, block_len_);
+    for (u64 c : c_) writePod(out, c);
+    writeVec(out, counts_);
+    writeVec(out, bwt_);
+    writeVec(out, sa_samples_);
+}
+
+FmIndex
+FmIndex::load(std::istream& in)
+{
+    u32 magic = 0;
+    u32 version = 0;
+    readPod(in, magic);
+    readPod(in, version);
+    requireInput(magic == kFmMagic, "FM-index load: bad magic");
+    requireInput(version == kFmVersion,
+                 "FM-index load: unsupported version");
+    FmIndex fm;
+    readPod(in, fm.ref_len_);
+    readPod(in, fm.n_);
+    readPod(in, fm.block_len_);
+    requireInput(fm.n_ == 2 * fm.ref_len_ + 2 && fm.block_len_ >= 8,
+                 "FM-index load: inconsistent header");
+    for (u64& c : fm.c_) readPod(in, c);
+    const u64 cap = 64 * (fm.n_ + 4096);
+    readVec(in, fm.counts_, cap);
+    readVec(in, fm.bwt_, cap);
+    readVec(in, fm.sa_samples_, cap);
+    requireInput(fm.sa_samples_.size() == fm.n_ &&
+                     fm.bwt_.size() >= fm.n_,
+                 "FM-index load: inconsistent payload");
+    return fm;
+}
+
+namespace {
+
+/** Recursive bounded-mismatch backward search. */
+template <typename ExtendFn>
+void
+inexactRec(const ExtendFn& extend, std::span<const u8> pattern,
+           i64 i, u32 budget, const BiInterval& ik,
+           std::vector<BiInterval>& out)
+{
+    if (i < 0) {
+        out.push_back(ik);
+        return;
+    }
+    std::array<BiInterval, 4> ok;
+    extend(ik, ok);
+    for (u8 c = 0; c < 4; ++c) {
+        if (ok[c].s == 0) continue;
+        const bool match = c == pattern[static_cast<size_t>(i)];
+        if (!match && budget == 0) continue;
+        inexactRec(extend, pattern, i - 1, budget - (match ? 0 : 1),
+                   ok[c], out);
+    }
+}
+
+} // namespace
+
+std::vector<BiInterval>
+FmIndex::searchInexact(std::span<const u8> pattern,
+                       u32 max_mismatches) const
+{
+    requireInput(!pattern.empty(), "FM-index inexact: empty pattern");
+    for (u8 c : pattern) {
+        requireInput(c < kNumBases,
+                     "FM-index inexact: pattern must be ACGT codes");
+    }
+    std::vector<BiInterval> out;
+    NullProbe probe;
+    auto extend = [&](const BiInterval& ik,
+                      std::array<BiInterval, 4>& ok) {
+        extendBackward(ik, ok, probe);
+    };
+
+    // Seed with the last character (exact or mismatched).
+    const i64 last = static_cast<i64>(pattern.size()) - 1;
+    for (u8 c = 0; c < 4; ++c) {
+        const bool match = c == pattern[static_cast<size_t>(last)];
+        if (!match && max_mismatches == 0) continue;
+        BiInterval ik = baseInterval(c);
+        ik.begin = 0;
+        ik.end = static_cast<i32>(pattern.size());
+        if (ik.s == 0) continue;
+        inexactRec(extend, pattern, last - 1,
+                   max_mismatches - (match ? 0 : 1), ik, out);
+    }
+    return out;
+}
+
+u64
+FmIndex::countInexact(std::string_view pattern, u32 max_mismatches) const
+{
+    const std::vector<u8> codes = encodeDna(pattern);
+    for (u8 c : codes) {
+        if (c >= kNumBases) return 0;
+    }
+    u64 total = 0;
+    for (const auto& interval :
+         searchInexact(std::span<const u8>(codes), max_mismatches)) {
+        total += interval.s;
+    }
+    return total;
+}
+
+std::vector<FmIndex::Hit>
+FmIndex::locate(const BiInterval& interval, u64 max_hits) const
+{
+    std::vector<Hit> hits;
+    const u64 limit =
+        max_hits ? std::min<u64>(max_hits, interval.s) : interval.s;
+    const u64 match_len = static_cast<u64>(
+        std::max<i32>(interval.length(), 1));
+
+    for (u64 j = interval.k; j < interval.k + limit; ++j) {
+        u64 row = j;
+        u64 steps = 0;
+        while (sa_samples_[row] == kUnsampled) {
+            // LF-mapping step.
+            const u8 sym = bwt_[row];
+            row = c_[sym] + occOne(sym, row);
+            ++steps;
+        }
+        const u64 pos_in_text = sa_samples_[row] + steps;
+        Hit hit;
+        if (pos_in_text < ref_len_) {
+            hit.pos = pos_in_text;
+            hit.reverse = false;
+        } else {
+            // Position inside the reverse-complement half.
+            const u64 offset = pos_in_text - (ref_len_ + 1);
+            hit.pos = ref_len_ - offset - match_len;
+            hit.reverse = true;
+        }
+        hits.push_back(hit);
+    }
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+        return a.pos < b.pos || (a.pos == b.pos && a.reverse < b.reverse);
+    });
+    return hits;
+}
+
+} // namespace gb

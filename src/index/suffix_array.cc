@@ -1,0 +1,191 @@
+#include "index/suffix_array.h"
+
+#include <algorithm>
+#include <string_view>
+
+namespace gb {
+
+namespace {
+
+constexpr i64 kEmpty = -1;
+
+/**
+ * Core SA-IS recursion over a generic integer text.
+ *
+ * @param s  Text; s[n-1] must be the unique smallest symbol.
+ * @param sa Output, length n.
+ * @param k  Alphabet size.
+ */
+void
+saisRec(const std::vector<i64>& s, std::vector<i64>& sa, i64 k)
+{
+    const i64 n = static_cast<i64>(s.size());
+    sa.assign(n, kEmpty);
+    if (n == 1) {
+        sa[0] = 0;
+        return;
+    }
+
+    // Type classification: true = S-type, false = L-type.
+    std::vector<bool> is_s(n);
+    is_s[n - 1] = true;
+    for (i64 i = n - 2; i >= 0; --i) {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    auto isLms = [&](i64 i) { return i > 0 && is_s[i] && !is_s[i - 1]; };
+
+    // Bucket sizes per symbol.
+    std::vector<i64> bucket(k, 0);
+    for (i64 i = 0; i < n; ++i) ++bucket[s[i]];
+
+    std::vector<i64> heads(k);
+    std::vector<i64> tails(k);
+    auto resetHeads = [&] {
+        i64 acc = 0;
+        for (i64 c = 0; c < k; ++c) {
+            heads[c] = acc;
+            acc += bucket[c];
+        }
+    };
+    auto resetTails = [&] {
+        i64 acc = 0;
+        for (i64 c = 0; c < k; ++c) {
+            acc += bucket[c];
+            tails[c] = acc - 1;
+        }
+    };
+
+    auto induce = [&] {
+        // Induce L-type from left to right.
+        resetHeads();
+        for (i64 i = 0; i < n; ++i) {
+            const i64 j = sa[i];
+            if (j > 0 && !is_s[j - 1]) sa[heads[s[j - 1]]++] = j - 1;
+        }
+        // Induce S-type from right to left.
+        resetTails();
+        for (i64 i = n - 1; i >= 0; --i) {
+            const i64 j = sa[i];
+            if (j > 0 && is_s[j - 1]) sa[tails[s[j - 1]]--] = j - 1;
+        }
+    };
+
+    // Step 1: place LMS suffixes at bucket tails and induce to sort
+    // LMS substrings.
+    resetTails();
+    for (i64 i = n - 1; i >= 0; --i) {
+        if (isLms(i)) sa[tails[s[i]]--] = i;
+    }
+    induce();
+
+    // Step 2: name LMS substrings in their sorted order.
+    std::vector<i64> lms_order;
+    lms_order.reserve(n / 2);
+    for (i64 i = 0; i < n; ++i) {
+        if (sa[i] != kEmpty && isLms(sa[i])) lms_order.push_back(sa[i]);
+    }
+    const i64 num_lms = static_cast<i64>(lms_order.size());
+
+    std::vector<i64> name_of(n, kEmpty);
+    i64 names = 0;
+    i64 prev = -1;
+    for (i64 r = 0; r < num_lms; ++r) {
+        const i64 cur = lms_order[r];
+        bool differ = prev < 0;
+        if (!differ) {
+            // Compare LMS substrings starting at prev and cur.
+            for (i64 d = 0; ; ++d) {
+                if (prev + d >= n || cur + d >= n) {
+                    differ = true;
+                    break;
+                }
+                const bool prev_lms = d > 0 && isLms(prev + d);
+                const bool cur_lms = d > 0 && isLms(cur + d);
+                if (s[prev + d] != s[cur + d] ||
+                    is_s[prev + d] != is_s[cur + d]) {
+                    differ = true;
+                    break;
+                }
+                if (prev_lms || cur_lms) {
+                    differ = !(prev_lms && cur_lms);
+                    break;
+                }
+            }
+        }
+        if (differ) ++names;
+        name_of[cur] = names - 1;
+        prev = cur;
+    }
+
+    // Collect LMS positions in text order and their names.
+    std::vector<i64> lms_pos;
+    lms_pos.reserve(num_lms);
+    for (i64 i = 0; i < n; ++i) {
+        if (isLms(i)) lms_pos.push_back(i);
+    }
+    std::vector<i64> reduced(num_lms);
+    for (i64 r = 0; r < num_lms; ++r) reduced[r] = name_of[lms_pos[r]];
+
+    // Step 3: order the LMS suffixes.
+    std::vector<i64> lms_sa;
+    if (names == num_lms) {
+        lms_sa.assign(num_lms, 0);
+        for (i64 r = 0; r < num_lms; ++r) lms_sa[reduced[r]] = r;
+    } else {
+        saisRec(reduced, lms_sa, names);
+    }
+
+    // Step 4: place sorted LMS suffixes and induce the full SA.
+    std::fill(sa.begin(), sa.end(), kEmpty);
+    resetTails();
+    for (i64 r = num_lms - 1; r >= 0; --r) {
+        const i64 j = lms_pos[lms_sa[r]];
+        sa[tails[s[j]]--] = j;
+    }
+    induce();
+}
+
+} // namespace
+
+std::vector<u32>
+buildSuffixArray(const std::vector<u8>& text, u32 alphabet)
+{
+    requireInput(!text.empty(), "suffix array: empty text");
+    requireInput(text.back() == 0,
+                 "suffix array: text must end with sentinel 0");
+    for (size_t i = 0; i + 1 < text.size(); ++i) {
+        requireInput(text[i] != 0 && text[i] < alphabet,
+                     "suffix array: symbol out of range or interior "
+                     "sentinel");
+    }
+    std::vector<i64> s(text.begin(), text.end());
+    std::vector<i64> sa;
+    saisRec(s, sa, alphabet);
+    return {sa.begin(), sa.end()};
+}
+
+std::vector<u32>
+buildSuffixArrayNaive(const std::vector<u8>& text)
+{
+    std::vector<u32> sa(text.size());
+    for (u32 i = 0; i < sa.size(); ++i) sa[i] = i;
+    const std::string_view sv(reinterpret_cast<const char*>(text.data()),
+                              text.size());
+    std::sort(sa.begin(), sa.end(), [&](u32 a, u32 b) {
+        return sv.substr(a) < sv.substr(b);
+    });
+    return sa;
+}
+
+std::vector<u8>
+bwtFromSuffixArray(const std::vector<u8>& text,
+                   const std::vector<u32>& sa)
+{
+    std::vector<u8> bwt(text.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+        bwt[i] = sa[i] == 0 ? text.back() : text[sa[i] - 1];
+    }
+    return bwt;
+}
+
+} // namespace gb

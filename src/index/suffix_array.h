@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Suffix-array construction (SA-IS).
+ *
+ * Substrate for the FM-index used by the fmi kernel. SA-IS (Nong, Zhang
+ * and Chan, 2009) builds the suffix array of an n-symbol text in O(n)
+ * time by induced sorting; this is the same family of construction
+ * BWA-MEM2 uses for its index.
+ */
+#ifndef GB_INDEX_SUFFIX_ARRAY_H
+#define GB_INDEX_SUFFIX_ARRAY_H
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/**
+ * Build the suffix array of `text`.
+ *
+ * Requirements: symbols in [0, alphabet); text must be terminated by a
+ * single sentinel symbol 0 that appears exactly once, at the end (the
+ * usual SA-IS convention).
+ *
+ * @param text     Symbol string ending in its unique smallest symbol 0.
+ * @param alphabet Number of distinct symbols (> max symbol value).
+ * @return SA with SA[i] = start of the i-th smallest suffix.
+ */
+std::vector<u32> buildSuffixArray(const std::vector<u8>& text,
+                                  u32 alphabet);
+
+/**
+ * Reference O(n^2 log n) construction used as a test oracle.
+ * Same contract as buildSuffixArray.
+ */
+std::vector<u32> buildSuffixArrayNaive(const std::vector<u8>& text);
+
+/** Burrows-Wheeler transform from a text and its suffix array. */
+std::vector<u8> bwtFromSuffixArray(const std::vector<u8>& text,
+                                   const std::vector<u32>& sa);
+
+} // namespace gb
+
+#endif // GB_INDEX_SUFFIX_ARRAY_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SAM-like alignment records.
+ *
+ * A trimmed-down BAM/SAM record: enough to drive the pileup, dbg and
+ * phmm kernels, which all consume reads-aligned-to-a-region. Records
+ * serialize to a SAM-like tab-separated text form for the example apps.
+ */
+#ifndef GB_IO_ALIGNMENT_H
+#define GB_IO_ALIGNMENT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/cigar.h"
+#include "util/common.h"
+
+namespace gb {
+
+/** One aligned read. */
+struct AlnRecord
+{
+    std::string qname;       ///< Read name.
+    u32 ref_id = 0;          ///< Index of the reference contig.
+    u64 pos = 0;             ///< 0-based leftmost reference position.
+    u8 mapq = 60;            ///< Mapping quality.
+    bool reverse = false;    ///< Aligned to the reverse strand.
+    Cigar cigar;             ///< Alignment description.
+    std::string seq;         ///< Query bases (forward-strand order).
+    std::string qual;        ///< Phred+33 qualities, empty if absent.
+
+    /** One past the last reference base covered. */
+    u64 endPos() const { return pos + cigar.refLen(); }
+
+    /** Validate internal consistency (CIGAR query length vs seq). */
+    void validate() const;
+};
+
+/** Serialize records in SAM-like TSV (no header). */
+void writeAlignments(std::ostream& out,
+                     const std::vector<AlnRecord>& records);
+
+/** Parse records written by writeAlignments(). */
+std::vector<AlnRecord> readAlignments(std::istream& in);
+
+} // namespace gb
+
+#endif // GB_IO_ALIGNMENT_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CIGAR alignment-description strings (SAM spec subset).
+ *
+ * The pileup kernel's dominant cost is "random access into the alignment
+ * record to extract and parse alignment information (represented as a
+ * CIGAR string)" (paper §III); this module provides that representation.
+ */
+#ifndef GB_IO_CIGAR_H
+#define GB_IO_CIGAR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** Supported CIGAR operation kinds. */
+enum class CigarOp : u8
+{
+    kMatch,     ///< M: alignment match or mismatch
+    kInsertion, ///< I: insertion relative to the reference
+    kDeletion,  ///< D: deletion relative to the reference
+    kSoftClip,  ///< S: clipped query bases present in seq
+    kEqual,     ///< =: sequence match
+    kDiff,      ///< X: sequence mismatch
+};
+
+/** One (length, op) CIGAR element. */
+struct CigarUnit
+{
+    u32 len;
+    CigarOp op;
+
+    bool operator==(const CigarUnit&) const = default;
+};
+
+/** Character code of an operation ('M', 'I', ...). */
+char cigarOpChar(CigarOp op);
+
+/** True if the operation consumes reference bases. */
+bool consumesRef(CigarOp op);
+
+/** True if the operation consumes query bases. */
+bool consumesQuery(CigarOp op);
+
+/** Full CIGAR: an ordered list of units plus derived quantities. */
+class Cigar
+{
+  public:
+    Cigar() = default;
+    explicit Cigar(std::vector<CigarUnit> units)
+        : units_(std::move(units)) {}
+
+    /** Parse from SAM text form, e.g. "20M1I30M2D5S". */
+    static Cigar parse(std::string_view text);
+
+    /** SAM text form; "*" when empty. */
+    std::string str() const;
+
+    /** Append a unit, merging with the tail if ops match. */
+    void push(CigarOp op, u32 len);
+
+    const std::vector<CigarUnit>& units() const { return units_; }
+    bool empty() const { return units_.empty(); }
+
+    /** Number of reference bases spanned. */
+    u64 refLen() const;
+
+    /** Number of query bases consumed. */
+    u64 queryLen() const;
+
+    bool operator==(const Cigar&) const = default;
+
+  private:
+    std::vector<CigarUnit> units_;
+};
+
+} // namespace gb
+
+#endif // GB_IO_CIGAR_H

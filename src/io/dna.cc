@@ -1,0 +1,58 @@
+#include "io/dna.h"
+
+#include <algorithm>
+
+namespace gb {
+
+std::vector<u8>
+encodeDna(std::string_view seq)
+{
+    std::vector<u8> out(seq.size());
+    for (size_t i = 0; i < seq.size(); ++i) out[i] = baseCode(seq[i]);
+    return out;
+}
+
+std::string
+decodeDna(const std::vector<u8>& codes)
+{
+    std::string out(codes.size(), 'N');
+    for (size_t i = 0; i < codes.size(); ++i) out[i] = baseChar(codes[i]);
+    return out;
+}
+
+std::vector<u8>
+reverseComplement(const std::vector<u8>& codes)
+{
+    std::vector<u8> out(codes.size());
+    for (size_t i = 0; i < codes.size(); ++i) {
+        out[codes.size() - 1 - i] = complementCode(codes[i]);
+    }
+    return out;
+}
+
+std::string
+reverseComplement(std::string_view seq)
+{
+    std::string out(seq.size(), 'N');
+    for (size_t i = 0; i < seq.size(); ++i) {
+        out[seq.size() - 1 - i] =
+            baseChar(complementCode(baseCode(seq[i])));
+    }
+    return out;
+}
+
+bool
+isValidDna(std::string_view seq)
+{
+    return std::all_of(seq.begin(), seq.end(), [](char c) {
+        switch (c) {
+          case 'A': case 'C': case 'G': case 'T': case 'N':
+          case 'a': case 'c': case 'g': case 't': case 'n':
+            return true;
+          default:
+            return false;
+        }
+    });
+}
+
+} // namespace gb

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Nucleotide alphabet encoding helpers.
+ *
+ * The suite's kernels operate on 2-bit codes (A=0, C=1, G=2, T=3);
+ * code 4 represents N/unknown where it must be preserved.
+ */
+#ifndef GB_IO_DNA_H
+#define GB_IO_DNA_H
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** Number of real nucleotide symbols. */
+inline constexpr int kNumBases = 4;
+
+/** Code used for N / unknown bases. */
+inline constexpr u8 kBaseN = 4;
+
+namespace detail {
+
+constexpr std::array<u8, 256>
+makeBaseCodeTable()
+{
+    std::array<u8, 256> t{};
+    for (auto& v : t) v = kBaseN;
+    t['A'] = t['a'] = 0;
+    t['C'] = t['c'] = 1;
+    t['G'] = t['g'] = 2;
+    t['T'] = t['t'] = 3;
+    return t;
+}
+
+inline constexpr std::array<u8, 256> kBaseCodeTable = makeBaseCodeTable();
+
+} // namespace detail
+
+/** ASCII base -> 2-bit code (4 for anything that is not ACGT). */
+inline u8
+baseCode(char c)
+{
+    return detail::kBaseCodeTable[static_cast<u8>(c)];
+}
+
+/** 2-bit code -> ASCII base ('N' for code 4+). */
+inline char
+baseChar(u8 code)
+{
+    constexpr char kChars[] = "ACGTN";
+    return kChars[code <= kBaseN ? code : kBaseN];
+}
+
+/** Complement of a 2-bit code (N maps to N). */
+inline u8
+complementCode(u8 code)
+{
+    return code < kNumBases ? static_cast<u8>(3 - code) : kBaseN;
+}
+
+/** Encode an ASCII sequence to 2-bit codes. */
+std::vector<u8> encodeDna(std::string_view seq);
+
+/** Decode 2-bit codes to an ASCII sequence. */
+std::string decodeDna(const std::vector<u8>& codes);
+
+/** Reverse complement of an encoded sequence. */
+std::vector<u8> reverseComplement(const std::vector<u8>& codes);
+
+/** Reverse complement of an ASCII sequence. */
+std::string reverseComplement(std::string_view seq);
+
+/** True if every character of `seq` is one of ACGTNacgtn. */
+bool isValidDna(std::string_view seq);
+
+} // namespace gb
+
+#endif // GB_IO_DNA_H

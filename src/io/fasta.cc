@@ -1,0 +1,168 @@
+#include "io/fasta.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "io/dna.h"
+
+namespace gb {
+
+namespace {
+
+/** getline that tolerates trailing '\r' (Windows line endings). */
+bool
+getLine(std::istream& in, std::string& line, u64& line_no)
+{
+    if (!std::getline(in, line)) return false;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++line_no;
+    return true;
+}
+
+std::string
+at(u64 line_no)
+{
+    return " (line " + std::to_string(line_no) + ")";
+}
+
+} // namespace
+
+FastaReader::FastaReader(std::istream& in) : in_(in) {}
+
+std::optional<SeqRecord>
+FastaReader::next()
+{
+    std::string line;
+    // Find the header for this record, unless one is pending from the
+    // previous call.
+    while (pending_header_.empty()) {
+        if (!getLine(in_, line, line_no_)) return std::nullopt;
+        if (line.empty()) continue;
+        requireInput(line[0] == '>',
+                     "FASTA: expected '>' header" + at(line_no_));
+        pending_header_ = line.substr(1);
+        requireInput(!pending_header_.empty(),
+                     "FASTA: empty record name" + at(line_no_));
+        saw_header_ = true;
+    }
+
+    SeqRecord rec;
+    rec.name = pending_header_;
+    pending_header_.clear();
+    while (getLine(in_, line, line_no_)) {
+        if (line.empty()) continue;
+        if (line[0] == '>') {
+            pending_header_ = line.substr(1);
+            requireInput(!pending_header_.empty(),
+                         "FASTA: empty record name" + at(line_no_));
+            break;
+        }
+        requireInput(isValidDna(line),
+                     "FASTA: non-nucleotide characters" + at(line_no_));
+        rec.seq += line;
+    }
+    requireInput(!rec.seq.empty(),
+                 "FASTA: record '" + rec.name + "' has no sequence");
+    return rec;
+}
+
+std::vector<SeqRecord>
+FastaReader::readAll(std::istream& in)
+{
+    FastaReader reader(in);
+    std::vector<SeqRecord> out;
+    while (auto rec = reader.next()) out.push_back(std::move(*rec));
+    return out;
+}
+
+std::vector<SeqRecord>
+FastaReader::readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    requireInput(static_cast<bool>(in), "cannot open FASTA file: " + path);
+    return readAll(in);
+}
+
+FastqReader::FastqReader(std::istream& in) : in_(in) {}
+
+std::optional<SeqRecord>
+FastqReader::next()
+{
+    std::string header;
+    // Skip blank lines between records.
+    do {
+        if (!getLine(in_, header, line_no_)) return std::nullopt;
+    } while (header.empty());
+
+    requireInput(header[0] == '@',
+                 "FASTQ: expected '@' header" + at(line_no_));
+    SeqRecord rec;
+    rec.name = header.substr(1);
+    requireInput(!rec.name.empty(),
+                 "FASTQ: empty record name" + at(line_no_));
+
+    std::string plus;
+    requireInput(getLine(in_, rec.seq, line_no_),
+                 "FASTQ: truncated record '" + rec.name + "'");
+    requireInput(isValidDna(rec.seq),
+                 "FASTQ: non-nucleotide characters" + at(line_no_));
+    requireInput(getLine(in_, plus, line_no_) && !plus.empty() &&
+                     plus[0] == '+',
+                 "FASTQ: expected '+' separator" + at(line_no_));
+    requireInput(getLine(in_, rec.qual, line_no_),
+                 "FASTQ: missing quality line" + at(line_no_));
+    requireInput(rec.qual.size() == rec.seq.size(),
+                 "FASTQ: quality length mismatch" + at(line_no_));
+    return rec;
+}
+
+std::vector<SeqRecord>
+FastqReader::readAll(std::istream& in)
+{
+    FastqReader reader(in);
+    std::vector<SeqRecord> out;
+    while (auto rec = reader.next()) out.push_back(std::move(*rec));
+    return out;
+}
+
+std::vector<SeqRecord>
+FastqReader::readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    requireInput(static_cast<bool>(in), "cannot open FASTQ file: " + path);
+    return readAll(in);
+}
+
+void
+writeFasta(std::ostream& out, const std::vector<SeqRecord>& records,
+           size_t wrap)
+{
+    for (const auto& rec : records) {
+        out << '>' << rec.name << '\n';
+        if (wrap == 0) {
+            out << rec.seq << '\n';
+            continue;
+        }
+        for (size_t i = 0; i < rec.seq.size(); i += wrap) {
+            out << rec.seq.substr(i, wrap) << '\n';
+        }
+    }
+}
+
+void
+writeFastq(std::ostream& out, const std::vector<SeqRecord>& records)
+{
+    for (const auto& rec : records) {
+        requireInput(rec.qual.size() == rec.seq.size(),
+                     "FASTQ write: record '" + rec.name +
+                         "' lacks qualities");
+        out << '@' << rec.name << '\n'
+            << rec.seq << '\n'
+            << "+\n"
+            << rec.qual << '\n';
+    }
+}
+
+} // namespace gb

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * FASTA/FASTQ parsing and writing.
+ *
+ * The paper's extracted kernels include "file I/O-related driver code
+ * added for reading inputs and writing results" (§IV-A); this module is
+ * that driver layer. Both stream- and file-backed use is supported so
+ * tests can parse from strings.
+ */
+#ifndef GB_IO_FASTA_H
+#define GB_IO_FASTA_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** One sequence record; `qual` is empty for FASTA input. */
+struct SeqRecord
+{
+    std::string name;
+    std::string seq;
+    std::string qual; ///< Phred+33 string, same length as seq for FASTQ.
+};
+
+/**
+ * Streaming FASTA parser.
+ *
+ * Throws InputError on malformed input (missing '>' header, empty
+ * sequence, non-nucleotide characters).
+ */
+class FastaReader
+{
+  public:
+    /** Parse from a caller-owned stream. */
+    explicit FastaReader(std::istream& in);
+
+    /** Read the next record; nullopt at end of input. */
+    std::optional<SeqRecord> next();
+
+    /** Convenience: parse every record in the stream. */
+    static std::vector<SeqRecord> readAll(std::istream& in);
+
+    /** Convenience: parse a whole file. */
+    static std::vector<SeqRecord> readFile(const std::string& path);
+
+  private:
+    std::istream& in_;
+    std::string pending_header_;
+    u64 line_no_ = 0;
+    bool saw_header_ = false;
+};
+
+/**
+ * Streaming FASTQ parser (4-line records).
+ *
+ * Throws InputError on truncated records, header markers other than
+ * '@'/'+', or quality strings whose length differs from the sequence.
+ */
+class FastqReader
+{
+  public:
+    explicit FastqReader(std::istream& in);
+
+    std::optional<SeqRecord> next();
+
+    static std::vector<SeqRecord> readAll(std::istream& in);
+    static std::vector<SeqRecord> readFile(const std::string& path);
+
+  private:
+    std::istream& in_;
+    u64 line_no_ = 0;
+};
+
+/** Write records as FASTA with the given line wrap width. */
+void writeFasta(std::ostream& out, const std::vector<SeqRecord>& records,
+                size_t wrap = 80);
+
+/** Write records as FASTQ; every record must carry qualities. */
+void writeFastq(std::ostream& out, const std::vector<SeqRecord>& records);
+
+} // namespace gb
+
+#endif // GB_IO_FASTA_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal VCF (Variant Call Format) output.
+ *
+ * The reference-guided pipeline ends in variant calls; real tools emit
+ * VCF. This writer covers the subset the suite produces: SNV records
+ * with genotype and allele-fraction annotations.
+ */
+#ifndef GB_IO_VCF_H
+#define GB_IO_VCF_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** One VCF record (SNVs only). */
+struct VcfRecord
+{
+    std::string chrom = "chr1";
+    u64 pos = 0;          ///< 0-based; written as 1-based
+    char ref = 'N';
+    char alt = 'N';
+    double qual = 0.0;
+    bool heterozygous = false;
+    double allele_fraction = 0.0;
+};
+
+/** Write a minimal VCFv4.2 document. */
+void writeVcf(std::ostream& out, const std::vector<VcfRecord>& records,
+              const std::string& reference_name,
+              u64 reference_length);
+
+/** Parse records written by writeVcf (headers skipped). */
+std::vector<VcfRecord> readVcf(std::istream& in);
+
+} // namespace gb
+
+#endif // GB_IO_VCF_H

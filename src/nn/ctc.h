@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Connectionist Temporal Classification decoders.
+ *
+ * Basecallers emit per-frame probabilities over {blank, A, C, G, T};
+ * a CTC decoder turns the frame sequence into a base sequence. Both a
+ * greedy (best-path) decoder and a prefix beam-search decoder are
+ * provided; Bonito uses beam search, and greedy is the common fast
+ * approximation.
+ */
+#ifndef GB_NN_CTC_H
+#define GB_NN_CTC_H
+
+#include <string>
+
+#include "nn/tensor.h"
+#include "util/common.h"
+
+namespace gb {
+
+/** Alphabet layout: column 0 = blank, columns 1..4 = ACGT. */
+inline constexpr u32 kCtcBlank = 0;
+inline constexpr u32 kCtcClasses = 5;
+
+/**
+ * Greedy best-path decode of [T][5] probabilities: per-frame argmax,
+ * collapse repeats, drop blanks.
+ */
+std::string ctcGreedyDecode(const Tensor2& probs);
+
+/**
+ * Prefix beam-search decode of [T][5] probabilities.
+ *
+ * @param beam_width Number of prefixes kept per frame.
+ */
+std::string ctcBeamDecode(const Tensor2& probs, u32 beam_width = 8);
+
+} // namespace gb
+
+#endif // GB_NN_CTC_H

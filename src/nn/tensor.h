@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal dense float tensor for the inference engine.
+ *
+ * The paper's nn-base (Bonito) and nn-variant (Clair) kernels run on
+ * PyTorch/TensorFlow; this suite implements the inference math from
+ * scratch, so the NN substrate needs only a simple row-major tensor.
+ */
+#ifndef GB_NN_TENSOR_H
+#define GB_NN_TENSOR_H
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** Row-major 2-D tensor [rows][cols] of floats. */
+struct Tensor2
+{
+    u32 rows = 0;
+    u32 cols = 0;
+    std::vector<float> data;
+
+    Tensor2() = default;
+    Tensor2(u32 r, u32 c) : rows(r), cols(c)
+    {
+        data.assign(static_cast<size_t>(r) * c, 0.0f);
+    }
+
+    float* row(u32 r) { return &data[static_cast<size_t>(r) * cols]; }
+    const float*
+    row(u32 r) const
+    {
+        return &data[static_cast<size_t>(r) * cols];
+    }
+
+    float& at(u32 r, u32 c) { return data[static_cast<size_t>(r) * cols + c]; }
+    float
+    at(u32 r, u32 c) const
+    {
+        return data[static_cast<size_t>(r) * cols + c];
+    }
+};
+
+} // namespace gb
+
+#endif // GB_NN_TENSOR_H

@@ -1,0 +1,24 @@
+#include "phmm/pairhmm.h"
+
+namespace gb {
+
+PhmmResult
+pairHmmLogLikelihood(std::span<const u8> read, std::span<const u8> quals,
+                     std::span<const u8> haplotype,
+                     const PhmmParams& params)
+{
+    NullProbe probe;
+    return pairHmmLogLikelihood(read, quals, haplotype, params, probe);
+}
+
+u64
+PhmmTask::cellUpdates() const
+{
+    u64 hap_bases = 0;
+    for (const auto& h : haplotypes) hap_bases += h.size();
+    u64 cells = 0;
+    for (const auto& r : reads) cells += r.bases.size() * hap_bases;
+    return cells;
+}
+
+} // namespace gb

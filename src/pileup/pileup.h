@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Read-pileup counting — the pileup kernel.
+ *
+ * Faithful to the pre-processing stage of long-read neural variant
+ * callers like Medaka (paper §III): for every reference position of a
+ * region, parse the CIGAR of every overlapping alignment record and
+ * accumulate counts of each base per strand plus insertion/deletion
+ * support. The walk requires random access into alignment records,
+ * which is why the paper finds pileup memory-bound; regions (100 kb)
+ * are the inter-task parallelism unit.
+ *
+ * Also provides the Clair-style 33 x 8 x 4 feature tensor (input to
+ * the nn-variant kernel) and a simple frequency-threshold caller used
+ * by the integration tests and example pipelines.
+ */
+#ifndef GB_PILEUP_PILEUP_H
+#define GB_PILEUP_PILEUP_H
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/probe.h"
+#include "io/alignment.h"
+#include "util/common.h"
+
+namespace gb {
+
+/** Per-position pileup counters. */
+struct PileupColumn
+{
+    std::array<u16, 4> base_fwd{}; ///< A,C,G,T on the forward strand
+    std::array<u16, 4> base_rev{};
+    u16 ins_fwd = 0; ///< insertions starting after this position
+    u16 ins_rev = 0;
+    u16 del_fwd = 0; ///< deletions covering this position
+    u16 del_rev = 0;
+
+    u32
+    depth() const
+    {
+        u32 d = 0;
+        for (u16 c : base_fwd) d += c;
+        for (u16 c : base_rev) d += c;
+        return d + del_fwd + del_rev;
+    }
+
+    u32
+    baseCount(u8 base) const
+    {
+        return static_cast<u32>(base_fwd[base]) + base_rev[base];
+    }
+};
+
+/** Pileup over one reference region. */
+struct Pileup
+{
+    u64 region_start = 0;
+    std::vector<PileupColumn> columns;
+    u64 reads_processed = 0;
+    u64 cigar_ops_walked = 0; ///< kernel work unit
+};
+
+/**
+ * Count the pileup of `records` over [region_start, region_start+len).
+ *
+ * Records not overlapping the region are skipped; soft clips consume
+ * query only. Counters saturate at 65535.
+ */
+template <typename Probe>
+Pileup countPileup(std::span<const AlnRecord> records, u64 region_start,
+                   u64 region_len, Probe& probe);
+
+/** Uninstrumented convenience wrapper. */
+Pileup countPileup(std::span<const AlnRecord> records, u64 region_start,
+                   u64 region_len);
+
+/** Clair tensor geometry: 33 positions x 8 counts x 4 encodings. */
+inline constexpr u32 kClairWindow = 33;
+inline constexpr u32 kClairCounts = 8;
+inline constexpr u32 kClairEncodings = 4;
+inline constexpr u32 kClairFeatureSize =
+    kClairWindow * kClairCounts * kClairEncodings;
+
+/**
+ * Build the Clair input tensor for the reference position `center`
+ * (flanked by 16 positions each side).
+ *
+ * Encodings: (a) depth-normalized raw counts, (b) insertion support,
+ * (c) deletion support, (d) allele support relative to the reference
+ * base (ref-base counts zeroed).
+ *
+ * @param ref_codes Reference bases for the pileup's region.
+ */
+std::vector<float> clairFeatures(const Pileup& pileup,
+                                 std::span<const u8> ref_codes,
+                                 u64 center);
+
+/** A variant call from the threshold caller. */
+struct SimpleCall
+{
+    u64 pos;          ///< reference position
+    u8 ref_base;      ///< 2-bit code
+    u8 alt_base;      ///< 2-bit code
+    bool heterozygous;
+    double alt_fraction;
+};
+
+/**
+ * Frequency-threshold SNV caller over a pileup (used by tests and the
+ * example pipelines; the learned caller is the nn-variant kernel).
+ */
+std::vector<SimpleCall> callSnvs(const Pileup& pileup,
+                                 std::span<const u8> ref_codes,
+                                 double min_alt_fraction = 0.25,
+                                 u32 min_depth = 8);
+
+} // namespace gb
+
+#endif // GB_PILEUP_PILEUP_H

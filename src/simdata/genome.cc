@@ -1,0 +1,100 @@
+#include "simdata/genome.h"
+
+#include <algorithm>
+
+#include "io/dna.h"
+
+namespace gb {
+
+namespace {
+
+/** Draw a base honouring the target GC content. */
+char
+drawBase(Rng& rng, double gc)
+{
+    const double u = rng.uniform();
+    if (u < gc) return rng.chance(0.5) ? 'G' : 'C';
+    return rng.chance(0.5) ? 'A' : 'T';
+}
+
+std::string
+randomUnit(Rng& rng, u32 len, double gc)
+{
+    std::string unit(len, 'A');
+    for (auto& c : unit) c = drawBase(rng, gc);
+    return unit;
+}
+
+/** Copy a repeat unit with per-base divergence. */
+std::string
+divergedCopy(Rng& rng, const std::string& unit, double divergence)
+{
+    std::string out = unit;
+    for (auto& c : out) {
+        if (rng.chance(divergence)) {
+            char repl = drawBase(rng, 0.5);
+            while (repl == c) repl = drawBase(rng, 0.5);
+            c = repl;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Genome
+generateGenome(const GenomeParams& params)
+{
+    requireInput(params.length > 0, "genome length must be positive");
+    requireInput(params.repeat_unit_min > 0 &&
+                     params.repeat_unit_min <= params.repeat_unit_max,
+                 "invalid repeat unit bounds");
+    Rng rng(params.seed);
+
+    Genome g;
+    g.name = "synthetic_contig_seed" + std::to_string(params.seed);
+    g.seq.reserve(params.length);
+
+    // Repeat families shared across the contig.
+    std::vector<std::string> families;
+    families.reserve(params.repeat_family_count);
+    for (u32 f = 0; f < params.repeat_family_count; ++f) {
+        const u32 len = static_cast<u32>(rng.range(
+            params.repeat_unit_min, params.repeat_unit_max));
+        families.push_back(randomUnit(rng, len, params.gc_content));
+    }
+
+    while (g.seq.size() < params.length) {
+        const bool place_repeat =
+            !families.empty() && rng.chance(params.repeat_fraction);
+        if (place_repeat) {
+            const auto& unit =
+                families[rng.below(families.size())];
+            std::string copy =
+                divergedCopy(rng, unit, params.repeat_divergence);
+            // Occasionally emit a short tandem run of the unit.
+            const int copies = rng.chance(0.3)
+                                   ? static_cast<int>(rng.range(2, 4))
+                                   : 1;
+            for (int c = 0; c < copies &&
+                            g.seq.size() < params.length; ++c) {
+                g.seq += copy;
+            }
+        } else {
+            // Unique background segment with locally drifting GC.
+            const u64 seg =
+                static_cast<u64>(rng.range(200, 2000));
+            const double gc = std::clamp(
+                params.gc_content + rng.normal(0.0, 0.05), 0.2, 0.7);
+            for (u64 i = 0; i < seg && g.seq.size() < params.length;
+                 ++i) {
+                g.seq.push_back(drawBase(rng, gc));
+            }
+        }
+    }
+    g.seq.resize(params.length);
+    g.codes = encodeDna(g.seq);
+    return g;
+}
+
+} // namespace gb

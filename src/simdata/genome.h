@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic reference-genome generation.
+ *
+ * Substitutes for the human/worm/bacterial references used in the
+ * paper. Generated genomes are not i.i.d. random: real genomes contain
+ * repeat families and GC-content variation, and both matter for the
+ * suite's characterization (repeats create large FM-index intervals,
+ * skewed k-mer counts and ambiguous seeds). The generator therefore
+ * plants tandem and interspersed repeat copies (with small divergence)
+ * over a Markov background.
+ */
+#ifndef GB_SIMDATA_GENOME_H
+#define GB_SIMDATA_GENOME_H
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gb {
+
+/** Parameters for genome synthesis. */
+struct GenomeParams
+{
+    u64 length = 1'000'000;
+    double gc_content = 0.41;        ///< human-like GC fraction
+    double repeat_fraction = 0.25;   ///< fraction covered by repeats
+    u32 repeat_family_count = 12;    ///< distinct repeat units
+    u32 repeat_unit_min = 120;       ///< unit length bounds
+    u32 repeat_unit_max = 600;
+    double repeat_divergence = 0.03; ///< per-base mutation of copies
+    u64 seed = 1;
+};
+
+/** A generated reference contig. */
+struct Genome
+{
+    std::string name;
+    std::string seq;                 ///< ASCII ACGT
+    std::vector<u8> codes;           ///< 2-bit encoded copy of seq
+
+    u64 size() const { return seq.size(); }
+};
+
+/** Generate one contig according to `params`. */
+Genome generateGenome(const GenomeParams& params);
+
+} // namespace gb
+
+#endif // GB_SIMDATA_GENOME_H

@@ -1,0 +1,65 @@
+#include "simdata/genotypes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gb {
+
+GenotypeMatrix
+generateGenotypes(const GenotypeParams& p)
+{
+    requireInput(p.num_individuals > 1 && p.num_sites > 0,
+                 "genotype matrix needs >1 individuals and >0 sites");
+    requireInput(p.num_populations >= 1, "need at least one population");
+    Rng rng(p.seed);
+
+    GenotypeMatrix m;
+    m.num_individuals = p.num_individuals;
+    m.num_sites = p.num_sites;
+    m.genotypes.assign(
+        static_cast<size_t>(p.num_individuals) * p.num_sites, 0);
+    m.allele_freq.resize(p.num_sites);
+
+    // Assign individuals to latent populations.
+    std::vector<u32> pop_of(p.num_individuals);
+    for (auto& pop : pop_of) {
+        pop = static_cast<u32>(rng.below(p.num_populations));
+    }
+
+    // Per-site: ancestral frequency from a 1/x spectrum, then
+    // population-specific frequencies via the Balding-Nichols model.
+    const double a = p.fst > 0 ? (1.0 - p.fst) / p.fst : 1e9;
+    std::vector<double> pop_freq(p.num_populations);
+    for (u32 s = 0; s < p.num_sites; ++s) {
+        // 1/x spectrum on [0.01, 0.5].
+        const double lo = 0.01;
+        const double hi = 0.5;
+        const double u = rng.uniform();
+        const double freq = lo * std::pow(hi / lo, u);
+        m.allele_freq[s] = freq;
+
+        for (u32 k = 0; k < p.num_populations; ++k) {
+            // Beta(a*f, a*(1-f)) approximated by a clamped normal with
+            // the matching mean/variance (adequate for synthesis).
+            const double var =
+                freq * (1.0 - freq) / (a + 1.0);
+            pop_freq[k] = std::clamp(
+                rng.normal(freq, std::sqrt(var)), 0.001, 0.999);
+        }
+
+        for (u32 i = 0; i < p.num_individuals; ++i) {
+            i8 g;
+            if (rng.chance(p.missing_rate)) {
+                g = kMissingGenotype;
+            } else {
+                const double f = pop_freq[pop_of[i]];
+                g = static_cast<i8>((rng.chance(f) ? 1 : 0) +
+                                    (rng.chance(f) ? 1 : 0));
+            }
+            m.genotypes[static_cast<size_t>(i) * p.num_sites + s] = g;
+        }
+    }
+    return m;
+}
+
+} // namespace gb

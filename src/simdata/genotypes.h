@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Population SNV genotype matrix synthesis (input to the grm kernel).
+ *
+ * Substitutes for the 1000 Genomes Phase-3 calls the paper uses: N
+ * individuals x S variant sites, each genotype the number of copies of
+ * the non-reference allele (0/1/2, with occasional missing calls).
+ * Allele frequencies follow the characteristic 1/x site-frequency
+ * spectrum, and individuals are drawn from a small number of latent
+ * populations so the resulting GRM has real block structure.
+ */
+#ifndef GB_SIMDATA_GENOTYPES_H
+#define GB_SIMDATA_GENOTYPES_H
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gb {
+
+/** Missing-genotype sentinel. */
+inline constexpr i8 kMissingGenotype = -1;
+
+/** Genotype matrix in individual-major order. */
+struct GenotypeMatrix
+{
+    u32 num_individuals = 0;
+    u32 num_sites = 0;
+    std::vector<i8> genotypes;      ///< N x S, row = individual
+    std::vector<double> allele_freq; ///< per-site population frequency
+
+    i8
+    at(u32 individual, u32 site) const
+    {
+        return genotypes[static_cast<size_t>(individual) * num_sites +
+                         site];
+    }
+};
+
+/** Synthesis parameters. */
+struct GenotypeParams
+{
+    u32 num_individuals = 512;
+    u32 num_sites = 20'000;
+    u32 num_populations = 4;   ///< latent ancestry clusters
+    double fst = 0.08;         ///< between-population divergence
+    double missing_rate = 0.002;
+    u64 seed = 23;
+};
+
+/** Generate a genotype matrix. */
+GenotypeMatrix generateGenotypes(const GenotypeParams& params);
+
+} // namespace gb
+
+#endif // GB_SIMDATA_GENOTYPES_H

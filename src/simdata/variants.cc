@@ -1,0 +1,57 @@
+#include "simdata/variants.h"
+
+#include "io/dna.h"
+
+namespace gb {
+
+SampleGenome
+injectVariants(const std::string& reference, const VariantParams& params)
+{
+    requireInput(!reference.empty(), "variant injection: empty reference");
+    Rng rng(params.seed);
+    SampleGenome out;
+    out.seq.reserve(reference.size());
+
+    const char* bases = "ACGT";
+    u64 i = 0;
+    while (i < reference.size()) {
+        const double u = rng.uniform();
+        if (u < params.snv_rate) {
+            char alt = bases[rng.below(4)];
+            while (alt == reference[i]) alt = bases[rng.below(4)];
+            Variant v{VariantType::kSnv, i, std::string(1, reference[i]),
+                      std::string(1, alt),
+                      rng.chance(params.het_fraction)};
+            out.truth.push_back(v);
+            out.seq.push_back(alt);
+            ++i;
+        } else if (u < params.snv_rate + params.ins_rate) {
+            const u32 len =
+                static_cast<u32>(rng.range(1, params.max_indel_len));
+            std::string ins;
+            for (u32 k = 0; k < len; ++k) ins.push_back(bases[rng.below(4)]);
+            Variant v{VariantType::kInsertion, i, "", ins,
+                      rng.chance(params.het_fraction)};
+            out.truth.push_back(v);
+            out.seq += ins;
+            out.seq.push_back(reference[i]);
+            ++i;
+        } else if (u < params.snv_rate + params.ins_rate +
+                           params.del_rate &&
+                   i + params.max_indel_len + 1 < reference.size()) {
+            const u32 len =
+                static_cast<u32>(rng.range(1, params.max_indel_len));
+            Variant v{VariantType::kDeletion, i,
+                      reference.substr(i, len), "",
+                      rng.chance(params.het_fraction)};
+            out.truth.push_back(v);
+            i += len;
+        } else {
+            out.seq.push_back(reference[i]);
+            ++i;
+        }
+    }
+    return out;
+}
+
+} // namespace gb

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Variant injection: derive a sample genome from a reference.
+ *
+ * Reference-guided pipelines (paper Fig. 1a) call variants of a sample
+ * against a reference; to exercise them end-to-end we create the sample
+ * by planting known SNVs and short indels, keeping the truth set so
+ * integration tests can check that injected variants are recovered.
+ */
+#ifndef GB_SIMDATA_VARIANTS_H
+#define GB_SIMDATA_VARIANTS_H
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace gb {
+
+/** Kind of planted variant. */
+enum class VariantType : u8 { kSnv, kInsertion, kDeletion };
+
+/** One truth-set variant, positions on the *reference*. */
+struct Variant
+{
+    VariantType type;
+    u64 ref_pos;        ///< 0-based reference coordinate
+    std::string ref;    ///< reference allele ("" for insertion)
+    std::string alt;    ///< alternate allele ("" for deletion)
+    bool heterozygous;  ///< present on one haplotype only
+};
+
+/** Parameters controlling variant density (human-like defaults). */
+struct VariantParams
+{
+    double snv_rate = 1e-3;       ///< per base
+    double ins_rate = 5e-5;
+    double del_rate = 5e-5;
+    u32 max_indel_len = 10;       ///< < 50, i.e. "small" variants
+    double het_fraction = 0.6;
+    u64 seed = 7;
+};
+
+/** A sample genome: mutated sequence plus its truth set. */
+struct SampleGenome
+{
+    std::string seq;               ///< haplotype 1 (carries all hom +
+                                   ///< het variants)
+    std::vector<Variant> truth;    ///< sorted by ref_pos
+};
+
+/** Plant variants into `reference` according to `params`. */
+SampleGenome injectVariants(const std::string& reference,
+                            const VariantParams& params);
+
+} // namespace gb
+
+#endif // GB_SIMDATA_VARIANTS_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All synthetic datasets in the suite are produced from seeded Rng
+ * instances so that every benchmark input is bit-reproducible across
+ * runs and machines. Xoshiro256** is used for generation and SplitMix64
+ * for seeding, following the reference implementations by Blackman and
+ * Vigna (public domain).
+ */
+#ifndef GB_UTIL_RNG_H
+#define GB_UTIL_RNG_H
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** SplitMix64 step; used to expand a single seed into a full state. */
+inline u64
+splitMix64(u64& state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Xoshiro256** generator with convenience distributions.
+ *
+ * Not thread-safe; create one instance per thread (see Rng::split).
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9b37f7d1ce4e5b9ULL)
+    {
+        for (auto& s : state_) s = splitMix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's method. */
+    u64
+    below(u64 bound)
+    {
+        if (bound == 0) return 0;
+        // Multiply-shift; slight modulo bias is irrelevant for data
+        // synthesis and keeps the generator branch-free.
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        if (has_cached_) {
+            has_cached_ = false;
+            return cached_;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        while (u1 <= 1e-300) u1 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * std::numbers::pi * u2;
+        cached_ = r * std::sin(theta);
+        has_cached_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double sd) { return mean + sd * normal(); }
+
+    /** Log-normal sample parameterized by the underlying normal. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
+    /** Geometric number of failures before a success, p in (0,1]. */
+    u64
+    geometric(double p)
+    {
+        if (p >= 1.0) return 0;
+        double u = uniform();
+        while (u <= 1e-300) u = uniform();
+        return static_cast<u64>(std::log(u) / std::log1p(-p));
+    }
+
+    /** Derive an independent child generator (for per-thread use). */
+    Rng
+    split()
+    {
+        u64 s = next() ^ 0xd2b74407b1ce6e93ULL;
+        return Rng(s);
+    }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::array<u64, 4> state_;
+    double cached_ = 0.0;
+    bool has_cached_ = false;
+};
+
+} // namespace gb
+
+#endif // GB_UTIL_RNG_H

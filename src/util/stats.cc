@@ -1,0 +1,43 @@
+#include "util/stats.h"
+
+namespace gb {
+
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 100.0);
+    std::sort(samples.begin(), samples.end());
+    const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+int
+LogHistogram::binOf(double x) const
+{
+    if (x < 1.0) x = 1.0;
+    return static_cast<int>(std::floor(std::log(x) / std::log(base_)));
+}
+
+void
+LogHistogram::add(double x)
+{
+    const int b = binOf(x);
+    if (counts_.empty()) {
+        min_bin_ = b;
+        counts_.assign(1, 0);
+    } else if (b < min_bin_) {
+        counts_.insert(counts_.begin(), static_cast<size_t>(min_bin_ - b),
+                       0);
+        min_bin_ = b;
+    } else if (b >= min_bin_ + static_cast<int>(counts_.size())) {
+        counts_.resize(static_cast<size_t>(b - min_bin_) + 1, 0);
+    }
+    ++counts_[static_cast<size_t>(b - min_bin_)];
+    ++total_;
+}
+
+} // namespace gb

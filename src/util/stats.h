@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Streaming summary statistics and fixed-bin histograms.
+ *
+ * Used by the characterization harness to describe per-task work
+ * distributions (paper Figure 4) and memory-access behaviour.
+ */
+#ifndef GB_UTIL_STATS_H
+#define GB_UTIL_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/** Welford-style running summary of a scalar sample stream. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    u64 count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Max-to-mean ratio; the paper's task-imbalance metric (Fig. 4). */
+    double
+    imbalance() const
+    {
+        return mean() > 0.0 ? max() / mean() : 0.0;
+    }
+
+    /** Merge another summary into this one. */
+    void
+    merge(const RunningStats& o)
+    {
+        if (o.n_ == 0) return;
+        if (n_ == 0) { *this = o; return; }
+        const double total = static_cast<double>(n_ + o.n_);
+        const double delta = o.mean_ - mean_;
+        m2_ += o.m2_ + delta * delta *
+               (static_cast<double>(n_) * static_cast<double>(o.n_)) / total;
+        mean_ = (mean_ * static_cast<double>(n_) +
+                 o.mean_ * static_cast<double>(o.n_)) / total;
+        n_ += o.n_;
+        sum_ += o.sum_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Compute the q-th percentile (0..100) of a sample vector (copies). */
+double percentile(std::vector<double> samples, double q);
+
+/** Logarithmically binned histogram for long-tailed work distributions. */
+class LogHistogram
+{
+  public:
+    /** @param base Bin boundary growth factor (default 2 = powers of 2). */
+    explicit LogHistogram(double base = 2.0) : base_(base) {}
+
+    void add(double x);
+
+    /** Bin index holding value x. */
+    int binOf(double x) const;
+
+    /** Lower edge of bin b. */
+    double binLow(int b) const { return std::pow(base_, b); }
+
+    const std::vector<u64>& counts() const { return counts_; }
+    int minBin() const { return min_bin_; }
+    u64 total() const { return total_; }
+
+  private:
+    double base_;
+    int min_bin_ = 0;
+    u64 total_ = 0;
+    std::vector<u64> counts_;
+};
+
+} // namespace gb
+
+#endif // GB_UTIL_STATS_H

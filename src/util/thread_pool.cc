@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace gb {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    num_threads_ = num_threads;
+    // Rank 0 is the calling thread; spawn the rest.
+    for (unsigned rank = 1; rank < num_threads_; ++rank) {
+        workers_.emplace_back([this, rank] { workerLoop(rank); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned rank)
+{
+    u64 seen_generation = 0;
+    for (;;) {
+        Job* job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_) return;
+            seen_generation = generation_;
+            job = current_job_;
+        }
+        if (job) runJob(*job, rank);
+    }
+}
+
+void
+ThreadPool::runJob(Job& job, unsigned rank)
+{
+    const u64 grain = std::max<u64>(1, job.grain);
+    for (;;) {
+        const u64 begin = job.cursor.fetch_add(grain,
+                                               std::memory_order_relaxed);
+        if (begin >= job.n) break;
+        const u64 end = std::min(job.n, begin + grain);
+        try {
+            for (u64 i = begin; i < end; ++i) (*job.body)(i, rank);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.error_mutex);
+            if (!job.error) job.error = std::current_exception();
+            // Drain remaining work so all workers finish promptly.
+            job.cursor.store(job.n, std::memory_order_relaxed);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.done_workers.fetch_add(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+}
+
+void
+ThreadPool::parallelForRanked(
+    u64 n, const std::function<void(u64, unsigned)>& body, u64 grain)
+{
+    if (n == 0) return;
+    if (num_threads_ == 1 || n == 1) {
+        for (u64 i = 0; i < n; ++i) body(i, 0);
+        return;
+    }
+
+    Job job;
+    job.n = n;
+    job.grain = grain;
+    job.body = &body;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_job_ = &job;
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    runJob(job, 0);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return job.done_workers.load(std::memory_order_acquire) ==
+                   num_threads_;
+        });
+        current_job_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+}
+
+void
+ThreadPool::parallelFor(u64 n, const std::function<void(u64)>& body,
+                        u64 grain)
+{
+    parallelForRanked(n, [&](u64 i, unsigned) { body(i); }, grain);
+}
+
+void
+serialFor(u64 n, const std::function<void(u64)>& body)
+{
+    for (u64 i = 0; i < n; ++i) body(i);
+}
+
+} // namespace gb

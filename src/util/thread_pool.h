@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Thread pool with dynamically scheduled parallel-for.
+ *
+ * The paper parallelizes every kernel with OpenMP `schedule(dynamic)` so
+ * that irregular per-task work is load-balanced across threads. This pool
+ * reproduces that execution model: parallelFor() hands out small index
+ * chunks from a shared atomic cursor, so threads that draw cheap tasks
+ * simply come back for more.
+ */
+#ifndef GB_UTIL_THREAD_POOL_H
+#define GB_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace gb {
+
+/**
+ * Fixed-size pool of worker threads.
+ *
+ * Work is submitted through parallelFor(); arbitrary job submission is
+ * intentionally not exposed because every kernel in the suite is a
+ * data-parallel loop over independent tasks.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool.
+     *
+     * @param num_threads Total worker count including the calling
+     *        thread; 0 selects the hardware concurrency.
+     */
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of threads that execute parallelFor bodies. */
+    unsigned numThreads() const { return num_threads_; }
+
+    /**
+     * Run `body(i)` for every i in [0, n), dynamically scheduled.
+     *
+     * The calling thread participates. Chunks of `grain` consecutive
+     * indices are claimed from a shared cursor. Exceptions thrown by the
+     * body are captured and rethrown (first one wins) on the caller.
+     *
+     * @param n     Iteration count.
+     * @param body  Callable invoked as body(u64 index).
+     * @param grain Indices claimed per scheduling event (default 1,
+     *              matching OpenMP schedule(dynamic) in the paper).
+     */
+    void parallelFor(u64 n, const std::function<void(u64)>& body,
+                     u64 grain = 1);
+
+    /**
+     * Variant that tells the body which worker executes it:
+     * body(index, thread_rank). Ranks are in [0, numThreads()).
+     */
+    void parallelForRanked(
+        u64 n, const std::function<void(u64, unsigned)>& body,
+        u64 grain = 1);
+
+  private:
+    struct Job
+    {
+        std::atomic<u64> cursor{0};
+        u64 n = 0;
+        u64 grain = 1;
+        const std::function<void(u64, unsigned)>* body = nullptr;
+        std::atomic<unsigned> done_workers{0};
+        std::exception_ptr error;
+        std::mutex error_mutex;
+    };
+
+    void workerLoop(unsigned rank);
+    void runJob(Job& job, unsigned rank);
+
+    unsigned num_threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    Job* current_job_ = nullptr;
+    u64 generation_ = 0;
+    bool shutdown_ = false;
+};
+
+/** Serial fallback used by tests: same contract as ThreadPool(1). */
+void serialFor(u64 n, const std::function<void(u64)>& body);
+
+} // namespace gb
+
+#endif // GB_UTIL_THREAD_POOL_H

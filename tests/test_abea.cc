@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for event detection and adaptive banded event alignment.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "abea/abea.h"
+#include "abea/event_detect.h"
+#include "simdata/pore_model.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+std::string
+randomDna(Rng& rng, u64 len)
+{
+    std::string s(len, 'A');
+    for (auto& c : s) c = "ACGT"[rng.below(4)];
+    return s;
+}
+
+TEST(EventDetect, EmptyAndTinySignals)
+{
+    EXPECT_TRUE(detectEvents(std::vector<float>{}).empty());
+    const std::vector<float> tiny{80.f, 81.f, 80.f};
+    const auto events = detectEvents(tiny);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].length, 3u);
+}
+
+TEST(EventDetect, StepSignalSegmented)
+{
+    // Three flat levels -> three events.
+    std::vector<float> samples;
+    for (int i = 0; i < 30; ++i) samples.push_back(70.0f);
+    for (int i = 0; i < 30; ++i) samples.push_back(110.0f);
+    for (int i = 0; i < 30; ++i) samples.push_back(85.0f);
+    const auto events = detectEvents(samples);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_NEAR(events[0].mean, 70.0f, 0.5f);
+    EXPECT_NEAR(events[1].mean, 110.0f, 0.5f);
+    EXPECT_NEAR(events[2].mean, 85.0f, 0.5f);
+    // Events tile the signal.
+    u64 total = 0;
+    for (const auto& e : events) total += e.length;
+    EXPECT_EQ(total, samples.size());
+}
+
+TEST(EventDetect, RecoversSimulatedEventCount)
+{
+    Rng rng(101);
+    PoreModel model(6, 17);
+    const std::string seq = randomDna(rng, 120);
+    // Boundaries between re-sampled events of the *same* k-mer carry
+    // no level change and are inherently undetectable, so measure the
+    // detector on a resample-free signal with comfortable dwells.
+    SignalParams sp;
+    sp.noise_stdv = 0.5;
+    sp.dwell_mean = 14.0;
+    sp.resample_prob = 0.0;
+    sp.seed = 5;
+    const auto sim = simulateSignal(model, seq, sp);
+
+    const auto events = detectEvents(sim.samples);
+    const double ratio = static_cast<double>(events.size()) /
+                         static_cast<double>(sim.events.size());
+    EXPECT_GT(ratio, 0.65) << events.size() << " vs "
+                           << sim.events.size();
+    EXPECT_LT(ratio, 1.35);
+}
+
+/** Build events directly from simulator ground truth. */
+std::vector<Event>
+truthEvents(const SimSignal& sim)
+{
+    std::vector<Event> events;
+    for (const auto& te : sim.events) {
+        events.push_back({te.start_sample, te.length, te.mean, 1.0f});
+    }
+    return events;
+}
+
+TEST(Abea, AlignsTrueSignalWithHighScore)
+{
+    Rng rng(102);
+    PoreModel model(6, 17);
+    const std::string ref = randomDna(rng, 300);
+    SignalParams sp;
+    sp.seed = 7;
+    const auto sim = simulateSignal(model, ref, sp);
+    const auto events = truthEvents(sim);
+
+    const auto result = alignEvents(events, model, ref);
+    ASSERT_TRUE(result.valid);
+    EXPECT_FALSE(result.alignment.empty());
+
+    // Score per event should be near the expected Gaussian log-pdf
+    // scale (>> random alignment, tested below).
+    const auto wrong =
+        alignEvents(events, model, randomDna(rng, 300));
+    ASSERT_TRUE(wrong.valid);
+    EXPECT_GT(result.score, wrong.score + 100.0f);
+}
+
+TEST(Abea, AlignmentIsMonotone)
+{
+    Rng rng(103);
+    PoreModel model(6, 19);
+    const std::string ref = randomDna(rng, 250);
+    const auto sim = simulateSignal(model, ref, SignalParams{});
+    const auto events = truthEvents(sim);
+    const auto result = alignEvents(events, model, ref);
+    ASSERT_TRUE(result.valid);
+    for (size_t i = 1; i < result.alignment.size(); ++i) {
+        EXPECT_GE(result.alignment[i].event_idx,
+                  result.alignment[i - 1].event_idx);
+        EXPECT_GE(result.alignment[i].kmer_idx,
+                  result.alignment[i - 1].kmer_idx);
+    }
+}
+
+TEST(Abea, RecoversTrueEventToKmerMapping)
+{
+    Rng rng(104);
+    PoreModel model(6, 23);
+    const std::string ref = randomDna(rng, 200);
+    SignalParams sp;
+    sp.resample_prob = 0.3;
+    sp.seed = 11;
+    const auto sim = simulateSignal(model, ref, sp);
+    const auto events = truthEvents(sim);
+
+    const auto result = alignEvents(events, model, ref);
+    ASSERT_TRUE(result.valid);
+
+    // Compare against ground truth: most aligned events should map to
+    // a k-mer close to their true k-mer.
+    u64 close = 0;
+    u64 total = 0;
+    for (const auto& ea : result.alignment) {
+        const auto& te = sim.events[ea.event_idx];
+        ++total;
+        if (std::abs(static_cast<i64>(te.kmer_index) -
+                     static_cast<i64>(ea.kmer_idx)) <= 2) {
+            ++close;
+        }
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(close) / static_cast<double>(total),
+              0.9);
+}
+
+TEST(Abea, OverRepresentedEventsHandledByStays)
+{
+    // Heavy resampling (~2x events per k-mer, the paper's case).
+    Rng rng(105);
+    PoreModel model(6, 29);
+    const std::string ref = randomDna(rng, 150);
+    SignalParams sp;
+    sp.resample_prob = 0.5;
+    sp.seed = 13;
+    const auto sim = simulateSignal(model, ref, sp);
+    const auto events = truthEvents(sim);
+    ASSERT_GT(events.size(), ref.size() - 6 + 1); // over-represented
+
+    const auto result = alignEvents(events, model, ref);
+    ASSERT_TRUE(result.valid);
+    // Nearly every event gets assigned (few trims).
+    EXPECT_GT(result.alignment.size(), events.size() * 8 / 10);
+}
+
+TEST(Abea, BandAccountingMatchesStructure)
+{
+    Rng rng(106);
+    PoreModel model(6, 31);
+    const std::string ref = randomDna(rng, 100);
+    const auto sim = simulateSignal(model, ref, SignalParams{});
+    const auto events = truthEvents(sim);
+
+    AbeaParams params;
+    params.record_bands = true;
+    const auto result = alignEvents(events, model, ref, params);
+    ASSERT_TRUE(result.valid);
+    const u64 n_kmers = ref.size() - 6 + 1;
+    EXPECT_EQ(result.bands, events.size() + n_kmers);
+    // Cells per band never exceed the bandwidth.
+    u64 cells = 0;
+    for (const auto& [lo, hi] : result.band_ranges) {
+        EXPECT_LE(hi - lo, params.bandwidth);
+        cells += hi - lo;
+    }
+    EXPECT_EQ(cells, result.cells_computed);
+}
+
+TEST(Abea, InputValidation)
+{
+    PoreModel model(6, 37);
+    std::vector<Event> events{{0, 5, 80.0f, 1.0f}};
+    EXPECT_THROW(alignEvents(events, model, "ACG"), InputError);
+    AbeaParams odd;
+    odd.bandwidth = 7;
+    EXPECT_THROW(alignEvents(events, model, "ACGTACGTACGT", odd),
+                 InputError);
+    // No events: invalid result, no crash.
+    const auto r =
+        alignEvents(std::vector<Event>{}, model, "ACGTACGTACGT");
+    EXPECT_FALSE(r.valid);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for banded Smith-Waterman: golden DP values, an unbanded
+ * full-matrix oracle, batch-vs-scalar equivalence, z-drop behaviour and
+ * the Fig. 3 overwork accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "align/banded_sw.h"
+#include "io/dna.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+/** Unbanded affine local SW oracle (O(mn), full matrix). */
+i32
+fullLocalSw(const std::vector<u8>& q, const std::vector<u8>& t,
+            const SwParams& p)
+{
+    const i32 m = static_cast<i32>(q.size());
+    const i32 n = static_cast<i32>(t.size());
+    constexpr i32 kNegInf = -(1 << 29);
+    std::vector<std::vector<i32>> h(m + 1, std::vector<i32>(n + 1, 0));
+    std::vector<std::vector<i32>> e(m + 1,
+                                    std::vector<i32>(n + 1, kNegInf));
+    std::vector<std::vector<i32>> f(m + 1,
+                                    std::vector<i32>(n + 1, kNegInf));
+    i32 best = 0;
+    for (i32 i = 1; i <= m; ++i) {
+        for (i32 j = 1; j <= n; ++j) {
+            e[i][j] = std::max(e[i][j - 1] - p.gap_extend,
+                               h[i][j - 1] - p.gap_open - p.gap_extend);
+            f[i][j] = std::max(f[i - 1][j] - p.gap_extend,
+                               h[i - 1][j] - p.gap_open - p.gap_extend);
+            const i32 sub =
+                q[i - 1] == t[j - 1] && q[i - 1] < 4 ? p.match
+                                                     : p.mismatch;
+            i32 v = h[i - 1][j - 1] + sub;
+            v = std::max({v, e[i][j], f[i][j], 0});
+            h[i][j] = v;
+            best = std::max(best, v);
+        }
+    }
+    return best;
+}
+
+std::vector<u8>
+codes(const std::string& s)
+{
+    return encodeDna(s);
+}
+
+SwParams
+wideParams()
+{
+    SwParams p;
+    p.band_width = 500; // wide enough to equal full SW in these tests
+    p.zdrop = 1 << 28;
+    return p;
+}
+
+TEST(BandedSw, PerfectMatch)
+{
+    const auto q = codes("ACGTACGTTG");
+    const auto r = bandedSw(q, q, wideParams());
+    EXPECT_EQ(r.score, 20); // 10 matches x 2
+    EXPECT_EQ(r.query_end, 10);
+    EXPECT_EQ(r.target_end, 10);
+    EXPECT_FALSE(r.aborted);
+}
+
+TEST(BandedSw, SingleMismatchGolden)
+{
+    // 10 bases, one mismatch in the middle: best local alignment can
+    // either span everything (9*2 - 4 = 14) or stop before the
+    // mismatch (5*2 = 10 at most) -> expect 14.
+    const auto q = codes("ACGTAACGTT");
+    const auto t = codes("ACGTCACGTT");
+    EXPECT_EQ(bandedSw(q, t, wideParams()).score, 14);
+}
+
+TEST(BandedSw, GapGolden)
+{
+    // Query = target with one base deleted: 9 matches and a 1-base
+    // gap, 18 - (6+1) = 11, vs the best gapless run ACGTA = 10.
+    const auto t = codes("ACGTATCGTG");
+    const auto q = codes("ACGTACGTG"); // T at index 5 deleted
+    EXPECT_EQ(bandedSw(q, t, wideParams()).score, 11);
+}
+
+TEST(BandedSw, EmptyInputs)
+{
+    const auto q = codes("ACGT");
+    const std::vector<u8> empty;
+    EXPECT_EQ(bandedSw(empty, q).score, 0);
+    EXPECT_EQ(bandedSw(q, empty).score, 0);
+    EXPECT_EQ(bandedSw(empty, empty).score, 0);
+}
+
+TEST(BandedSw, NNeverMatches)
+{
+    const auto q = encodeDna("NNNN");
+    const auto r = bandedSw(q, q, wideParams());
+    EXPECT_EQ(r.score, 0);
+}
+
+class BandedSwRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BandedSwRandom, WideBandMatchesFullMatrixOracle)
+{
+    Rng rng(300 + GetParam());
+    const SwParams p = wideParams();
+    for (int trial = 0; trial < 10; ++trial) {
+        const u64 m = 1 + rng.below(60);
+        const u64 n = 1 + rng.below(60);
+        std::vector<u8> q(m);
+        std::vector<u8> t(n);
+        for (auto& c : q) c = static_cast<u8>(rng.below(4));
+        for (auto& c : t) c = static_cast<u8>(rng.below(4));
+        EXPECT_EQ(bandedSw(q, t, p).score, fullLocalSw(q, t, p));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedSwRandom, ::testing::Range(1, 16));
+
+TEST(BandedSw, ScoreSymmetricUnderSwap)
+{
+    // Local alignment score is symmetric in (q, t) with symmetric
+    // scoring.
+    Rng rng(91);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<u8> q(30 + rng.below(30));
+        std::vector<u8> t(30 + rng.below(30));
+        for (auto& c : q) c = static_cast<u8>(rng.below(4));
+        for (auto& c : t) c = static_cast<u8>(rng.below(4));
+        EXPECT_EQ(bandedSw(q, t, wideParams()).score,
+                  bandedSw(t, q, wideParams()).score);
+    }
+}
+
+TEST(BandedSw, ScoreBoundedByPerfectMatch)
+{
+    Rng rng(92);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<u8> q(10 + rng.below(50));
+        std::vector<u8> t(10 + rng.below(50));
+        for (auto& c : q) c = static_cast<u8>(rng.below(4));
+        for (auto& c : t) c = static_cast<u8>(rng.below(4));
+        const i32 score = bandedSw(q, t, wideParams()).score;
+        EXPECT_GE(score, 0);
+        EXPECT_LE(score,
+                  2 * static_cast<i32>(std::min(q.size(), t.size())));
+    }
+}
+
+TEST(BandedSw, ZdropAbortsDissimilarPairs)
+{
+    Rng rng(93);
+    // Similar prefix, then garbage: z-drop should fire.
+    std::string prefix(100, 'A');
+    std::string q_str = prefix;
+    std::string t_str = prefix;
+    for (int i = 0; i < 300; ++i) {
+        q_str += "ACGT"[rng.below(2)];      // A/C only
+        t_str += "ACGT"[2 + rng.below(2)];  // G/T only
+    }
+    SwParams p;
+    p.zdrop = 50;
+    p.band_width = 500;
+    const auto r = bandedSw(codes(q_str), codes(t_str), p);
+    EXPECT_TRUE(r.aborted);
+    // Aborting saves cell updates vs the full matrix.
+    SwParams no_drop = p;
+    no_drop.zdrop = 1 << 28;
+    const auto full = bandedSw(codes(q_str), codes(t_str), no_drop);
+    EXPECT_LT(r.cell_updates, full.cell_updates);
+    EXPECT_EQ(r.score, full.score); // best was reached before abort
+}
+
+TEST(BatchSw, MatchesScalarScores)
+{
+    Rng rng(94);
+    std::vector<std::vector<u8>> qs;
+    std::vector<std::vector<u8>> ts;
+    std::vector<SwPair> pairs;
+    for (int i = 0; i < 37; ++i) { // not a multiple of 16
+        std::vector<u8> q(20 + rng.below(100));
+        std::vector<u8> t(20 + rng.below(100));
+        for (auto& c : q) c = static_cast<u8>(rng.below(4));
+        // Make some pairs similar so scores vary.
+        if (i % 3 == 0) {
+            t = q;
+            for (auto& c : t) {
+                if (rng.chance(0.1)) c = static_cast<u8>(rng.below(4));
+            }
+        } else {
+            for (auto& c : t) c = static_cast<u8>(rng.below(4));
+        }
+        qs.push_back(std::move(q));
+        ts.push_back(std::move(t));
+    }
+    for (size_t i = 0; i < qs.size(); ++i) {
+        pairs.push_back({qs[i], ts[i]});
+    }
+
+    SwParams p;
+    p.band_width = 40;
+    BatchSwAligner aligner(p);
+    NullProbe probe;
+    BatchSwStats stats;
+    const auto batch = aligner.align(pairs, probe, &stats);
+
+    ASSERT_EQ(batch.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        const auto scalar =
+            bandedSw(pairs[i].query, pairs[i].target, p);
+        EXPECT_EQ(batch[i].score, scalar.score) << "pair " << i;
+        EXPECT_EQ(batch[i].query_end, scalar.query_end) << "pair " << i;
+        EXPECT_EQ(batch[i].aborted, scalar.aborted) << "pair " << i;
+    }
+    // Lockstep execution does at least as much work as scalar.
+    u64 scalar_cells = 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        scalar_cells += bandedSw(pairs[i].query, pairs[i].target, p)
+                            .cell_updates;
+    }
+    EXPECT_EQ(stats.useful_cells, scalar_cells);
+    EXPECT_GE(stats.totalCellUpdates(), scalar_cells);
+    EXPECT_GE(stats.overworkRatio(), 1.0);
+}
+
+TEST(BatchSw, UniformLengthsHaveLowOverwork)
+{
+    // Identical-length well-matched pairs: almost no wasted lanes
+    // (only the final ragged batch).
+    Rng rng(95);
+    std::vector<std::vector<u8>> qs(32);
+    std::vector<SwPair> pairs;
+    for (auto& q : qs) {
+        q.resize(80);
+        for (auto& c : q) c = static_cast<u8>(rng.below(4));
+    }
+    for (auto& q : qs) pairs.push_back({q, q});
+
+    SwParams p;
+    p.band_width = 20;
+    BatchSwAligner aligner(p);
+    NullProbe probe;
+    BatchSwStats stats;
+    aligner.align(pairs, probe, &stats);
+    EXPECT_NEAR(stats.overworkRatio(), 1.0, 0.01);
+}
+
+TEST(BatchSw, MixedLengthsInflateCellUpdates)
+{
+    // Highly variable lengths without sorting: substantial overwork,
+    // the effect behind the paper's 2.2x observation.
+    Rng rng(96);
+    std::vector<std::vector<u8>> qs;
+    std::vector<SwPair> pairs;
+    for (int i = 0; i < 64; ++i) {
+        std::vector<u8> q(i % 2 ? 20 : 200);
+        for (auto& c : q) c = static_cast<u8>(rng.below(4));
+        qs.push_back(std::move(q));
+    }
+    for (auto& q : qs) pairs.push_back({q, q});
+
+    SwParams p;
+    p.band_width = 20;
+    BatchSwAligner aligner(p);
+    NullProbe probe;
+    BatchSwStats stats;
+    aligner.align(pairs, probe, &stats);
+    EXPECT_GT(stats.overworkRatio(), 1.5);
+}
+
+} // namespace
+} // namespace gb

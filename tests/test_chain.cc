@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for minimizer extraction, anchor matching and the chaining DP.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/chain.h"
+#include "chain/mapper.h"
+#include "io/dna.h"
+#include "simdata/genome.h"
+#include "simdata/reads.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+std::string
+randomDna(Rng& rng, u64 len)
+{
+    std::string s(len, 'A');
+    for (auto& c : s) c = "ACGT"[rng.below(4)];
+    return s;
+}
+
+TEST(Minimizers, DensityRoughlyTwoOverWPlusOne)
+{
+    // Classic minimizer density: ~2/(w+1) of positions are sampled.
+    Rng rng(61);
+    const auto codes = encodeDna(randomDna(rng, 20'000));
+    MinimizerParams p;
+    p.k = 15;
+    p.w = 10;
+    const auto mins = extractMinimizers(codes, p);
+    const double density =
+        static_cast<double>(mins.size()) / 20'000.0;
+    EXPECT_NEAR(density, 2.0 / (p.w + 1), 0.05);
+}
+
+TEST(Minimizers, DeterministicAndSorted)
+{
+    Rng rng(62);
+    const auto codes = encodeDna(randomDna(rng, 2000));
+    const auto a = extractMinimizers(codes, {});
+    const auto b = extractMinimizers(codes, {});
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pos, b[i].pos);
+        EXPECT_EQ(a[i].hash, b[i].hash);
+        if (i) {
+            EXPECT_LT(a[i - 1].pos, a[i].pos);
+        }
+    }
+}
+
+TEST(Minimizers, InvariantUnderReverseComplementHashes)
+{
+    // Canonical hashing: a sequence and its reverse complement share
+    // the same multiset of minimizer hashes.
+    Rng rng(63);
+    const std::string s = randomDna(rng, 3000);
+    const auto fwd =
+        extractMinimizers(encodeDna(s), {});
+    const auto rev =
+        extractMinimizers(encodeDna(reverseComplement(s)), {});
+    std::multiset<u64> fh;
+    std::multiset<u64> rh;
+    for (const auto& m : fwd) fh.insert(m.hash);
+    for (const auto& m : rev) rh.insert(m.hash);
+    // Window effects can differ at the edges; require near-identity.
+    std::vector<u64> inter;
+    std::set_intersection(fh.begin(), fh.end(), rh.begin(), rh.end(),
+                          std::back_inserter(inter));
+    EXPECT_GT(static_cast<double>(inter.size()),
+              0.9 * static_cast<double>(fh.size()));
+}
+
+TEST(Minimizers, HandlesShortAndAmbiguous)
+{
+    EXPECT_TRUE(extractMinimizers(encodeDna("ACG"), {}).empty());
+    const auto codes = encodeDna(std::string(200, 'N'));
+    EXPECT_TRUE(extractMinimizers(codes, {}).empty());
+    EXPECT_THROW(extractMinimizers(encodeDna("ACGT"),
+                                   MinimizerParams{2, 10}),
+                 InputError);
+}
+
+TEST(Anchors, OverlappingReadsShareAnchorsOnDiagonal)
+{
+    Rng rng(64);
+    const std::string genome = randomDna(rng, 6000);
+    // Two reads overlapping by 2000 bases.
+    const std::string r1 = genome.substr(0, 4000);
+    const std::string r2 = genome.substr(2000, 4000);
+    const auto m1 = extractMinimizers(encodeDna(r1), {});
+    const auto m2 = extractMinimizers(encodeDna(r2), {});
+    const auto anchors = matchAnchors(m1, m2, 15);
+    ASSERT_GT(anchors.size(), 20u);
+    // Most anchors should lie near the diagonal tpos - qpos = 2000.
+    u64 on_diag = 0;
+    for (const auto& a : anchors) {
+        const i64 d = static_cast<i64>(a.tpos) - a.qpos;
+        if (std::abs(d - 2000) < 50) ++on_diag;
+    }
+    EXPECT_GT(static_cast<double>(on_diag),
+              0.8 * static_cast<double>(anchors.size()));
+}
+
+TEST(ChainDp, PerfectDiagonalChainsCompletely)
+{
+    // Anchors on one clean diagonal chain into a single chain whose
+    // score approximates the covered length.
+    std::vector<Anchor> anchors;
+    for (u32 i = 0; i < 50; ++i) {
+        anchors.push_back({1000 + i * 40, 500 + i * 40, 15});
+    }
+    const auto chains = chainAnchors(anchors);
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].anchors.size(), 50u);
+    // First anchor contributes span; the rest min(gap, span)=15 each.
+    EXPECT_EQ(chains[0].score, 15 + 49 * 15);
+}
+
+TEST(ChainDp, SplitsOnHugeGap)
+{
+    std::vector<Anchor> anchors;
+    for (u32 i = 0; i < 20; ++i) {
+        anchors.push_back({i * 40, i * 40, 15});
+    }
+    for (u32 i = 0; i < 20; ++i) {
+        // Far away on target, same query trajectory: un-chainable.
+        anchors.push_back({100'000 + i * 40, 900 + i * 40, 15});
+    }
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                  return a.tpos < b.tpos;
+              });
+    ChainParams p;
+    p.min_score = 40;
+    const auto chains = chainAnchors(anchors, p);
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].anchors.size(), 20u);
+    EXPECT_EQ(chains[1].anchors.size(), 20u);
+}
+
+TEST(ChainDp, ScoreBoundedByAnchorSpans)
+{
+    Rng rng(65);
+    std::vector<Anchor> anchors;
+    u32 t = 0;
+    u32 q = 0;
+    for (int i = 0; i < 200; ++i) {
+        t += 5 + static_cast<u32>(rng.below(100));
+        q += 5 + static_cast<u32>(rng.below(100));
+        anchors.push_back({t, q, 15});
+    }
+    NullProbe probe;
+    const auto chains = chainAnchors(anchors, ChainParams{}, probe);
+    for (const auto& c : chains) {
+        EXPECT_LE(c.score,
+                  static_cast<i32>(c.anchors.size()) * 15);
+        EXPECT_GE(c.score, 40);
+        // Chain coordinates strictly increase on both sequences.
+        for (size_t i = 1; i < c.anchors.size(); ++i) {
+            EXPECT_LT(anchors[c.anchors[i - 1]].tpos,
+                      anchors[c.anchors[i]].tpos);
+            EXPECT_LT(anchors[c.anchors[i - 1]].qpos,
+                      anchors[c.anchors[i]].qpos);
+        }
+    }
+}
+
+TEST(ChainDp, EmptyInput)
+{
+    EXPECT_TRUE(chainAnchors(std::vector<Anchor>{}).empty());
+}
+
+TEST(ChainDp, NoiseAnchorsDoNotChain)
+{
+    Rng rng(66);
+    std::vector<Anchor> anchors;
+    for (int i = 0; i < 100; ++i) {
+        anchors.push_back({static_cast<u32>(rng.below(100'000)),
+                           static_cast<u32>(rng.below(100'000)), 15});
+    }
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                  return a.tpos < b.tpos ||
+                         (a.tpos == b.tpos && a.qpos < b.qpos);
+              });
+    ChainParams p;
+    p.min_score = 60;
+    p.min_anchors = 4;
+    const auto chains = chainAnchors(anchors, p);
+    EXPECT_TRUE(chains.empty());
+}
+
+TEST(Overlap, TrueOverlapScoresAboveUnrelated)
+{
+    Rng rng(67);
+    const std::string genome = randomDna(rng, 12'000);
+    const std::string a = genome.substr(0, 7000);
+    const std::string b = genome.substr(4000, 7000);
+    const std::string unrelated = randomDna(rng, 7000);
+
+    const i32 overlap = overlapScore(encodeDna(a), encodeDna(b));
+    const i32 noise = overlapScore(encodeDna(a), encodeDna(unrelated));
+    EXPECT_GT(overlap, 1000);
+    EXPECT_LT(noise, 100);
+}
+
+TEST(Mapper, MapsSimulatedLongReadsToTrueOrigins)
+{
+    GenomeParams gp;
+    gp.length = 120'000;
+    gp.seed = 201;
+    const Genome genome = generateGenome(gp);
+    const ReferenceMapper mapper(std::span<const u8>(genome.codes));
+    EXPECT_GT(mapper.indexedMinimizers(), 10'000u);
+
+    LongReadParams lp;
+    lp.coverage = 1.5;
+    lp.seed = 202;
+    const auto reads = simulateLongReads(genome.seq, lp);
+    ASSERT_GT(reads.size(), 5u);
+
+    u64 mapped = 0;
+    u64 accurate = 0;
+    for (const auto& read : reads) {
+        const auto codes = encodeDna(read.record.seq);
+        const Mapping m = mapper.map(codes);
+        if (!m.mapped) continue;
+        ++mapped;
+        EXPECT_EQ(m.reverse, read.reverse);
+        const i64 err = static_cast<i64>(m.ref_pos) -
+                        static_cast<i64>(read.true_pos);
+        if (std::llabs(err) < 200) ++accurate;
+    }
+    EXPECT_EQ(mapped, reads.size());
+    EXPECT_GE(accurate, mapped * 9 / 10);
+}
+
+TEST(Mapper, UnrelatedQueryDoesNotMap)
+{
+    Rng rng(203);
+    GenomeParams gp;
+    gp.length = 50'000;
+    gp.seed = 204;
+    const Genome genome = generateGenome(gp);
+    const ReferenceMapper mapper(std::span<const u8>(genome.codes));
+
+    const std::string unrelated = randomDna(rng, 5'000);
+    const Mapping m = mapper.map(encodeDna(unrelated));
+    EXPECT_FALSE(m.mapped);
+}
+
+TEST(Mapper, RepeatMaskingDropsHighFrequencyMinimizers)
+{
+    // A tandem-repeat-heavy reference should mask some minimizers.
+    GenomeParams gp;
+    gp.length = 60'000;
+    gp.repeat_fraction = 0.6;
+    gp.repeat_divergence = 0.0;
+    gp.seed = 205;
+    const Genome genome = generateGenome(gp);
+    const ReferenceMapper strict(std::span<const u8>(genome.codes),
+                                 MinimizerParams{}, ChainParams{},
+                                 /*max_occ=*/8);
+    EXPECT_GT(strict.maskedMinimizers(), 0u);
+}
+
+TEST(Mapper, ShortQueryReturnsUnmapped)
+{
+    GenomeParams gp;
+    gp.length = 10'000;
+    gp.seed = 206;
+    const Genome genome = generateGenome(gp);
+    const ReferenceMapper mapper(std::span<const u8>(genome.codes));
+    const auto tiny = encodeDna("ACGT");
+    EXPECT_FALSE(mapper.map(tiny).mapped);
+}
+
+TEST(Overlap, NoisyLongReadsStillChain)
+{
+    // ONT-like 10 % errors: chaining must still find the overlap.
+    Rng rng(68);
+    std::string genome = randomDna(rng, 10'000);
+    auto corrupt = [&](std::string s) {
+        std::string out;
+        for (char c : s) {
+            if (rng.chance(0.05)) continue;          // deletion
+            if (rng.chance(0.05)) out += "ACGT"[rng.below(4)]; // ins
+            out += rng.chance(0.03) ? "ACGT"[rng.below(4)] : c;
+        }
+        return out;
+    };
+    const std::string a = corrupt(genome.substr(0, 6000));
+    const std::string b = corrupt(genome.substr(3000, 6000));
+    const i32 score = overlapScore(encodeDna(a), encodeDna(b));
+    EXPECT_GT(score, 200);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Suite-level tests: every kernel prepares, runs, characterizes and
+ * reports task work through the public API.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arch/cache_sim.h"
+#include "core/benchmark.h"
+#include "util/stats.h"
+
+namespace gb {
+namespace {
+
+TEST(Registry, TwelveKernels)
+{
+    const auto names = kernelNames();
+    EXPECT_EQ(names.size(), 12u);
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), 12u);
+    for (const auto& name : names) {
+        const auto kernel = createKernel(name);
+        EXPECT_EQ(kernel->info().name, name);
+        EXPECT_FALSE(kernel->info().source_tool.empty());
+        EXPECT_FALSE(kernel->info().work_unit.empty());
+    }
+    EXPECT_THROW(createKernel("nope"), InputError);
+}
+
+class EveryKernel : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryKernel, PrepareRunTaskWorkOnTiny)
+{
+    auto kernel = createKernel(GetParam());
+    kernel->prepare(DatasetSize::kTiny);
+
+    ThreadPool pool(2);
+    const u64 tasks = kernel->run(pool);
+    EXPECT_GT(tasks, 0u);
+
+    const auto work = kernel->taskWork();
+    EXPECT_FALSE(work.empty());
+    u64 total = 0;
+    for (u64 w : work) total += w;
+    EXPECT_GT(total, 0u);
+}
+
+TEST_P(EveryKernel, CharacterizeProducesOpsAndMemoryTraffic)
+{
+    auto kernel = createKernel(GetParam());
+    kernel->prepare(DatasetSize::kTiny);
+
+    CacheSim cache;
+    CharProbe probe(&cache);
+    const u64 tasks = kernel->characterize(probe);
+    EXPECT_GT(tasks, 0u);
+    EXPECT_GT(probe.counts().total(), 0u);
+    EXPECT_GT(probe.counts()[OpClass::kLoad], 0u);
+    EXPECT_GT(cache.l1Stats().accesses, 0u);
+}
+
+TEST_P(EveryKernel, RunIsDeterministicAcrossThreadCounts)
+{
+    auto kernel = createKernel(GetParam());
+    kernel->prepare(DatasetSize::kTiny);
+    ThreadPool p1(1);
+    ThreadPool p4(4);
+    const u64 a = kernel->run(p1);
+    const u64 b = kernel->run(p4);
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryKernel,
+                         ::testing::ValuesIn(kernelNames()),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             std::replace(name.begin(), name.end(), '-',
+                                          '_');
+                             return name;
+                         });
+
+TEST(Imbalance, IrregularKernelsShowTaskImbalance)
+{
+    // The paper's Fig. 4: irregular kernels have max/mean per-task
+    // work well above 1; phmm has the longest tail.
+    auto phmm = createKernel("phmm");
+    phmm->prepare(DatasetSize::kSmall);
+    RunningStats stats;
+    for (u64 w : phmm->taskWork()) {
+        stats.add(static_cast<double>(w));
+    }
+    EXPECT_GT(stats.imbalance(), 3.0);
+
+    auto grm = createKernel("grm");
+    grm->prepare(DatasetSize::kTiny);
+    RunningStats grm_stats;
+    for (u64 w : grm->taskWork()) {
+        grm_stats.add(static_cast<double>(w));
+    }
+    EXPECT_DOUBLE_EQ(grm_stats.imbalance(), 1.0); // regular kernel
+}
+
+} // namespace
+} // namespace gb

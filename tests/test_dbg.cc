@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for De-Bruijn graph construction, cycle handling with k
+ * escalation, and haplotype enumeration.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dbg/debruijn.h"
+#include "io/dna.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+std::string
+randomDna(Rng& rng, u64 len)
+{
+    std::string s(len, 'A');
+    for (auto& c : s) c = "ACGT"[rng.below(4)];
+    return s;
+}
+
+/** Sample error-free reads covering the sample sequence. */
+std::vector<std::vector<u8>>
+coverWithReads(Rng& rng, const std::string& sample, u32 read_len,
+               u32 coverage)
+{
+    std::vector<std::vector<u8>> reads;
+    const u64 n = coverage * sample.size() / read_len + 1;
+    for (u64 i = 0; i < n; ++i) {
+        const u64 pos = rng.below(sample.size() - read_len + 1);
+        reads.push_back(encodeDna(sample.substr(pos, read_len)));
+    }
+    // Ensure the ends are covered.
+    reads.push_back(encodeDna(sample.substr(0, read_len)));
+    reads.push_back(
+        encodeDna(sample.substr(sample.size() - read_len, read_len)));
+    return reads;
+}
+
+TEST(Dbg, RefOnlyGraphYieldsReference)
+{
+    Rng rng(71);
+    const std::string ref = randomDna(rng, 300);
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+
+    DbgStats stats;
+    const auto haps = assembleRegion(region, DbgParams{}, stats);
+    ASSERT_EQ(haps.size(), 1u);
+    EXPECT_EQ(haps[0], region.reference);
+    EXPECT_TRUE(stats.acyclic);
+    EXPECT_GT(stats.hash_lookups, 0u);
+}
+
+TEST(Dbg, RecoversSnpHaplotype)
+{
+    Rng rng(72);
+    const std::string ref = randomDna(rng, 300);
+    std::string alt = ref;
+    alt[150] = alt[150] == 'A' ? 'C' : 'A';
+
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+    region.reads = coverWithReads(rng, alt, 100, 12);
+
+    DbgStats stats;
+    const auto haps = assembleRegion(region, DbgParams{}, stats);
+    EXPECT_TRUE(stats.acyclic);
+
+    std::set<std::vector<u8>> hap_set(haps.begin(), haps.end());
+    EXPECT_TRUE(hap_set.count(encodeDna(ref))) << "ref haplotype lost";
+    EXPECT_TRUE(hap_set.count(encodeDna(alt))) << "alt haplotype missed";
+}
+
+TEST(Dbg, RecoversInsertionHaplotype)
+{
+    Rng rng(73);
+    const std::string ref = randomDna(rng, 300);
+    std::string alt = ref;
+    alt.insert(140, "ACGTAG");
+
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+    region.reads = coverWithReads(rng, alt, 100, 12);
+
+    DbgStats stats;
+    const auto haps = assembleRegion(region, DbgParams{}, stats);
+    std::set<std::vector<u8>> hap_set(haps.begin(), haps.end());
+    EXPECT_TRUE(hap_set.count(encodeDna(alt)));
+}
+
+TEST(Dbg, LowSupportEdgesArePruned)
+{
+    Rng rng(74);
+    const std::string ref = randomDna(rng, 300);
+    std::string alt = ref;
+    alt[150] = alt[150] == 'G' ? 'T' : 'G';
+
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+    // Single read with the error: below min_edge_weight = 2.
+    region.reads.push_back(encodeDna(alt.substr(120, 80)));
+
+    DbgStats stats;
+    const auto haps = assembleRegion(region, DbgParams{}, stats);
+    std::set<std::vector<u8>> hap_set(haps.begin(), haps.end());
+    EXPECT_TRUE(hap_set.count(encodeDna(ref)));
+    EXPECT_FALSE(hap_set.count(encodeDna(alt)));
+}
+
+TEST(Dbg, TandemRepeatForcesKEscalation)
+{
+    // A repeat longer than k_init creates a cycle at k_init; larger k
+    // resolves it.
+    Rng rng(75);
+    const std::string unit = randomDna(rng, 12);
+    std::string ref = randomDna(rng, 80);
+    for (int i = 0; i < 2; ++i) ref += unit; // 12-mer repeated twice
+    ref += randomDna(rng, 80);
+
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+
+    DbgParams params;
+    params.k_init = 9; // smaller than the repeat unit
+    params.k_step = 8;
+    DbgStats stats;
+    const auto haps = assembleRegion(region, params, stats);
+    EXPECT_GT(stats.k_retries, 0u);
+    EXPECT_TRUE(stats.acyclic);
+    ASSERT_FALSE(haps.empty());
+    EXPECT_EQ(haps[0], region.reference);
+}
+
+TEST(Dbg, UnresolvableCycleFallsBackToReference)
+{
+    // Repeat longer than k_max keeps the graph cyclic at every k.
+    Rng rng(76);
+    const std::string unit = randomDna(rng, 40);
+    std::string ref = randomDna(rng, 60) + unit + unit + unit +
+                      randomDna(rng, 60);
+
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+
+    DbgParams params;
+    params.k_init = 15;
+    params.k_step = 8;
+    params.k_max = 31;
+    DbgStats stats;
+    const auto haps = assembleRegion(region, params, stats);
+    EXPECT_FALSE(stats.acyclic);
+    ASSERT_EQ(haps.size(), 1u);
+    EXPECT_EQ(haps[0], region.reference);
+}
+
+TEST(Dbg, GraphStatsSane)
+{
+    Rng rng(77);
+    const std::string ref = randomDna(rng, 200);
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+    NullProbe probe;
+    DeBruijnGraph graph(region, 21, probe);
+    // A random 200-base string has ~180 distinct 21-mers chained
+    // linearly.
+    EXPECT_EQ(graph.numNodes(), 200u - 21 + 1);
+    EXPECT_EQ(graph.numEdges(), graph.numNodes() - 1);
+    EXPECT_FALSE(graph.hasCycle());
+}
+
+TEST(Dbg, RejectsBadK)
+{
+    AssemblyRegion region;
+    region.reference = encodeDna("ACGTACGTACGT");
+    NullProbe probe;
+    EXPECT_THROW(DeBruijnGraph(region, 4, probe), InputError);
+    EXPECT_THROW(DeBruijnGraph(region, 33, probe), InputError);
+    EXPECT_THROW(DeBruijnGraph(region, 13, probe), InputError);
+}
+
+TEST(Dbg, AmbiguousBasesSplitKmerRuns)
+{
+    AssemblyRegion region;
+    std::string ref = "ACGTACGTACGTACGTACGTACGTACGTACGT"; // 32
+    region.reference = encodeDna(ref);
+    region.reads.push_back(encodeDna("ACGTACGTNNNNACGTACGT"));
+    NullProbe probe;
+    // k=8: the read contributes two separate 8-mer runs; must not
+    // crash and must not create edges across the N gap.
+    DeBruijnGraph graph(region, 8, probe);
+    EXPECT_GT(graph.numNodes(), 0u);
+}
+
+TEST(Dbg, HaplotypeCountCapRespected)
+{
+    // Many heterozygous branch points explode the path count; the cap
+    // must bound the output.
+    Rng rng(78);
+    const std::string ref = randomDna(rng, 400);
+    AssemblyRegion region;
+    region.reference = encodeDna(ref);
+    // Create 6 independent SNP sites, each with strong alt support.
+    for (int site = 0; site < 6; ++site) {
+        std::string alt = ref;
+        const size_t pos = 50 + static_cast<size_t>(site) * 50;
+        alt[pos] = alt[pos] == 'A' ? 'C' : 'A';
+        for (int copies = 0; copies < 4; ++copies) {
+            region.reads.push_back(
+                encodeDna(alt.substr(pos - 40, 80)));
+        }
+    }
+    DbgParams params;
+    params.max_haplotypes = 16;
+    DbgStats stats;
+    const auto haps = assembleRegion(region, params, stats);
+    EXPECT_LE(haps.size(), 16u);
+    EXPECT_GE(haps.size(), 2u);
+}
+
+} // namespace
+} // namespace gb

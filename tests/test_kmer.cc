@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for k-mer extraction and the counting hash table, including a
+ * std::map oracle and robin-hood vs linear equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/dna.h"
+#include "kmer/kmer_counter.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+TEST(KmerPack, RevComp)
+{
+    // "ACGT" = 00 01 10 11 -> rc("ACGT") = "ACGT".
+    const u64 acgt = 0b00011011;
+    EXPECT_EQ(revcompKmer(acgt, 4), acgt);
+    // "AAAA" <-> "TTTT".
+    EXPECT_EQ(revcompKmer(0, 4), 0b11111111u);
+    // Involution on random k-mers.
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const u32 k = 1 + static_cast<u32>(rng.below(31));
+        const u64 kmer = rng.next() & ((u64{1} << (2 * k)) - 1);
+        EXPECT_EQ(revcompKmer(revcompKmer(kmer, k), k), kmer);
+    }
+}
+
+TEST(KmerPack, CanonicalIsStrandInvariant)
+{
+    Rng rng(6);
+    for (int i = 0; i < 200; ++i) {
+        const u32 k = 1 + static_cast<u32>(rng.below(31));
+        const u64 kmer = rng.next() & ((u64{1} << (2 * k)) - 1);
+        EXPECT_EQ(canonicalKmer(kmer, k),
+                  canonicalKmer(revcompKmer(kmer, k), k));
+    }
+}
+
+TEST(ForEachKmer, EnumeratesAllWindows)
+{
+    const auto codes = encodeDna("ACGTAC");
+    std::vector<u64> kmers;
+    forEachKmer(std::span<const u8>(codes), 3,
+                [&](u64 kmer, u64 pos) {
+                    kmers.push_back(kmer);
+                    EXPECT_EQ(kmers.size() - 1, pos);
+                });
+    // ACG CGT GTA TAC.
+    ASSERT_EQ(kmers.size(), 4u);
+    EXPECT_EQ(kmers[0], 0b000110u);
+    EXPECT_EQ(kmers[1], 0b011011u);
+}
+
+TEST(ForEachKmer, SkipsAmbiguousWindows)
+{
+    const auto codes = encodeDna("ACGNACGT");
+    std::vector<u64> positions;
+    forEachKmer(std::span<const u8>(codes), 3,
+                [&](u64, u64 pos) { positions.push_back(pos); });
+    // Valid windows: ACG@0, then ACG@4 and CGT@5 after the N.
+    const std::vector<u64> expected{0, 4, 5};
+    EXPECT_EQ(positions, expected);
+}
+
+TEST(ForEachKmer, SequenceShorterThanK)
+{
+    const auto codes = encodeDna("AC");
+    int n = 0;
+    forEachKmer(std::span<const u8>(codes), 5, [&](u64, u64) { ++n; });
+    EXPECT_EQ(n, 0);
+}
+
+class CounterSchemes
+    : public ::testing::TestWithParam<HashScheme>
+{
+};
+
+TEST_P(CounterSchemes, MatchesMapOracle)
+{
+    Rng rng(7);
+    KmerCounter counter(12, GetParam());
+    std::map<u64, u32> oracle;
+    NullProbe probe;
+
+    for (int i = 0; i < 3000; ++i) {
+        // Small key space to force repeats and collisions.
+        const u64 kmer = rng.below(700);
+        counter.add(kmer, probe);
+        ++oracle[kmer];
+    }
+    EXPECT_EQ(counter.size(), oracle.size());
+    for (const auto& [kmer, count] : oracle) {
+        EXPECT_EQ(counter.count(kmer), count) << "kmer " << kmer;
+    }
+    EXPECT_EQ(counter.count(999'999), 0u);
+}
+
+TEST_P(CounterSchemes, SaturatesAt65535)
+{
+    KmerCounter counter(6, GetParam());
+    NullProbe probe;
+    for (int i = 0; i < 70'000; ++i) counter.add(42, probe);
+    EXPECT_EQ(counter.count(42), 65535u);
+}
+
+TEST_P(CounterSchemes, ThrowsOnOverflow)
+{
+    KmerCounter counter(4, GetParam()); // 16 slots
+    NullProbe probe;
+    EXPECT_THROW(
+        {
+            for (u64 i = 0; i < 16; ++i) counter.add(i, probe);
+        },
+        InternalError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CounterSchemes,
+                         ::testing::Values(HashScheme::kLinear,
+                                           HashScheme::kRobinHood));
+
+TEST(KmerCounter, RobinHoodReducesProbeVariance)
+{
+    // At high load, robin hood equalizes probe distances; total probe
+    // steps should not exceed linear probing by much and lookups of
+    // present keys stay correct. (The design-choice ablation bench
+    // reports the full numbers.)
+    Rng rng(8);
+    KmerCounter linear(14, HashScheme::kLinear);
+    KmerCounter robin(14, HashScheme::kRobinHood);
+    NullProbe probe;
+    std::vector<u64> keys;
+    for (int i = 0; i < 14'000; ++i) { // ~85 % load
+        keys.push_back(rng.next());
+        linear.add(keys.back(), probe);
+        robin.add(keys.back(), probe);
+    }
+    for (u64 key : keys) {
+        ASSERT_EQ(robin.count(key), linear.count(key));
+    }
+    EXPECT_EQ(robin.size(), linear.size());
+}
+
+TEST(CountKmers, EndToEndWithOracle)
+{
+    Rng rng(9);
+    std::vector<std::vector<u8>> reads;
+    std::map<u64, u32> oracle;
+    const u32 k = 7;
+    for (int r = 0; r < 50; ++r) {
+        std::string s;
+        for (int i = 0; i < 100; ++i) s += "ACGT"[rng.below(4)];
+        reads.push_back(encodeDna(s));
+        forEachKmer(std::span<const u8>(reads.back()), k,
+                    [&](u64 kmer, u64) {
+                        ++oracle[canonicalKmer(kmer, k)];
+                    });
+    }
+
+    KmerCounter counter(16);
+    NullProbe probe;
+    const auto stats = countKmers(
+        std::span<const std::vector<u8>>(reads), k, counter, probe);
+    EXPECT_EQ(stats.total_kmers, 50u * (100 - k + 1));
+    EXPECT_EQ(stats.distinct_kmers, oracle.size());
+    for (const auto& [kmer, count] : oracle) {
+        EXPECT_EQ(counter.count(kmer), count);
+    }
+}
+
+TEST(KmerCounter, HistogramAndSolid)
+{
+    KmerCounter counter(8);
+    NullProbe probe;
+    for (int i = 0; i < 5; ++i) counter.add(1, probe);
+    for (int i = 0; i < 2; ++i) counter.add(2, probe);
+    counter.add(3, probe);
+    EXPECT_EQ(counter.solidKmers(2), 2u);
+    EXPECT_EQ(counter.solidKmers(5), 1u);
+    const auto hist = counter.countHistogram(10);
+    EXPECT_EQ(hist[1], 1u);
+    EXPECT_EQ(hist[2], 1u);
+    EXPECT_EQ(hist[5], 1u);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for pileup counting, Clair feature tensors and the threshold
+ * SNV caller — including an end-to-end recovery of injected variants
+ * from simulated reads.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/dna.h"
+#include "pileup/pileup.h"
+#include "simdata/genome.h"
+#include "simdata/reads.h"
+#include "simdata/variants.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+AlnRecord
+makeRecord(const std::string& name, u64 pos, const std::string& cigar,
+           const std::string& seq, bool reverse = false)
+{
+    AlnRecord rec;
+    rec.qname = name;
+    rec.pos = pos;
+    rec.reverse = reverse;
+    rec.cigar = Cigar::parse(cigar);
+    rec.seq = seq;
+    rec.validate();
+    return rec;
+}
+
+TEST(Pileup, SimpleMatchCounts)
+{
+    std::vector<AlnRecord> records;
+    records.push_back(makeRecord("r1", 0, "4M", "ACGT"));
+    records.push_back(makeRecord("r2", 1, "3M", "CGT", true));
+
+    const auto pileup = countPileup(records, 0, 4);
+    EXPECT_EQ(pileup.reads_processed, 2u);
+    EXPECT_EQ(pileup.columns[0].base_fwd[0], 1u); // A fwd
+    EXPECT_EQ(pileup.columns[1].base_fwd[1], 1u); // C fwd
+    EXPECT_EQ(pileup.columns[1].base_rev[1], 1u); // C rev
+    EXPECT_EQ(pileup.columns[3].depth(), 2u);
+}
+
+TEST(Pileup, InsertionAndDeletionCounts)
+{
+    std::vector<AlnRecord> records;
+    // 2M 2I 2M: insertion after reference position 1.
+    records.push_back(makeRecord("ins", 0, "2M2I2M", "ACTTGT"));
+    // 2M 2D 2M: deletion covering positions 2-3.
+    records.push_back(makeRecord("del", 0, "2M2D2M", "ACGT"));
+
+    const auto pileup = countPileup(records, 0, 6);
+    EXPECT_EQ(pileup.columns[1].ins_fwd, 1u);
+    EXPECT_EQ(pileup.columns[2].del_fwd, 1u);
+    EXPECT_EQ(pileup.columns[3].del_fwd, 1u);
+    // Deleted positions still count toward depth.
+    EXPECT_EQ(pileup.columns[2].depth(), 2u);
+}
+
+TEST(Pileup, SoftClipsConsumeQueryOnly)
+{
+    std::vector<AlnRecord> records;
+    records.push_back(makeRecord("sc", 2, "2S3M1S", "TTACGC"));
+    const auto pileup = countPileup(records, 0, 8);
+    EXPECT_EQ(pileup.columns[2].base_fwd[0], 1u); // A at ref pos 2
+    EXPECT_EQ(pileup.columns[3].base_fwd[1], 1u); // C
+    EXPECT_EQ(pileup.columns[4].base_fwd[2], 1u); // G
+    EXPECT_EQ(pileup.columns[5].depth(), 0u);
+}
+
+TEST(Pileup, RegionClipping)
+{
+    std::vector<AlnRecord> records;
+    records.push_back(makeRecord("left", 0, "10M", "ACGTACGTAC"));
+    records.push_back(makeRecord("inside", 12, "4M", "ACGT"));
+    records.push_back(makeRecord("outside", 40, "4M", "ACGT"));
+
+    const auto pileup = countPileup(records, 10, 10);
+    EXPECT_EQ(pileup.reads_processed, 1u); // only "inside" overlaps
+    EXPECT_EQ(pileup.columns[2].base_fwd[0], 1u);
+}
+
+TEST(Pileup, ReadSpanningRegionBoundaryIsClipped)
+{
+    std::vector<AlnRecord> records;
+    records.push_back(makeRecord("span", 8, "8M", "ACGTACGT"));
+    const auto pileup = countPileup(records, 10, 4);
+    // Bases at ref 10..13 = read offsets 2..5: G T A C.
+    EXPECT_EQ(pileup.columns[0].base_fwd[2], 1u);
+    EXPECT_EQ(pileup.columns[1].base_fwd[3], 1u);
+    EXPECT_EQ(pileup.columns[2].base_fwd[0], 1u);
+    EXPECT_EQ(pileup.columns[3].base_fwd[1], 1u);
+}
+
+TEST(ClairFeatures, ShapeAndNormalization)
+{
+    std::vector<AlnRecord> records;
+    for (int i = 0; i < 10; ++i) {
+        records.push_back(makeRecord("r" + std::to_string(i), 0, "40M",
+                                     std::string(40, 'A')));
+    }
+    const auto pileup = countPileup(records, 0, 40);
+    const std::vector<u8> ref(40, 0); // all A
+    const auto tensor = clairFeatures(pileup, ref, 20);
+    ASSERT_EQ(tensor.size(), kClairFeatureSize);
+    for (float v : tensor) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+    // Channel (A, fwd) raw encoding at the center should be 1.0.
+    const u32 center_w = 16;
+    const u32 idx = (center_w * kClairCounts + 0) * kClairEncodings + 0;
+    EXPECT_FLOAT_EQ(tensor[idx], 1.0f);
+    // Encoding (d): ref-base support zeroed.
+    EXPECT_FLOAT_EQ(tensor[idx + 3], 0.0f);
+}
+
+TEST(ClairFeatures, Validation)
+{
+    const auto pileup = countPileup(std::vector<AlnRecord>{}, 0, 10);
+    const std::vector<u8> ref(10, 0);
+    EXPECT_THROW(clairFeatures(pileup, ref, 99), InputError);
+    const std::vector<u8> bad_ref(5, 0);
+    EXPECT_THROW(clairFeatures(pileup, bad_ref, 5), InputError);
+}
+
+TEST(CallSnvs, RecoversInjectedVariantsFromSimulatedReads)
+{
+    // Full mini-pipeline: genome -> variants -> reads -> pileup ->
+    // calls; the injected SNVs must be recovered.
+    GenomeParams gp;
+    gp.length = 20'000;
+    gp.seed = 3;
+    const Genome genome = generateGenome(gp);
+
+    VariantParams vp;
+    vp.snv_rate = 2e-3;
+    vp.ins_rate = 0.0;
+    vp.del_rate = 0.0;
+    vp.het_fraction = 0.0; // homozygous only: every read carries them
+    const SampleGenome sample = injectVariants(genome.seq, vp);
+    ASSERT_GT(sample.truth.size(), 10u);
+
+    ShortReadParams rp;
+    rp.coverage = 40.0;
+    rp.seed = 21;
+    const auto reads = simulateShortReads(sample.seq, rp);
+    auto alignments = toAlignments(reads);
+    // Truth alignments are on the sample; with SNVs only (no indels)
+    // sample coordinates equal reference coordinates.
+    const auto pileup =
+        countPileup(alignments, 0, genome.seq.size());
+    const auto ref_codes = encodeDna(genome.seq);
+    const auto calls = callSnvs(pileup, ref_codes, 0.3, 10);
+
+    std::set<u64> truth_pos;
+    for (const auto& v : sample.truth) truth_pos.insert(v.ref_pos);
+    u64 recovered = 0;
+    u64 false_pos = 0;
+    for (const auto& call : calls) {
+        if (truth_pos.count(call.pos)) {
+            ++recovered;
+        } else {
+            ++false_pos;
+        }
+    }
+    EXPECT_GT(static_cast<double>(recovered),
+              0.95 * static_cast<double>(truth_pos.size()));
+    EXPECT_LT(static_cast<double>(false_pos),
+              0.05 * static_cast<double>(truth_pos.size()) + 2);
+}
+
+TEST(CallSnvs, HetHomZygosity)
+{
+    std::vector<AlnRecord> records;
+    for (int i = 0; i < 20; ++i) {
+        // Position 0: all reads carry C over ref A (hom).
+        // Position 1: half carry G over ref A (het).
+        const std::string seq =
+            std::string("C") + (i % 2 ? "G" : "A");
+        records.push_back(
+            makeRecord("r" + std::to_string(i), 0, "2M", seq));
+    }
+    const auto pileup = countPileup(records, 0, 2);
+    const std::vector<u8> ref(2, 0);
+    const auto calls = callSnvs(pileup, ref, 0.25, 10);
+    ASSERT_EQ(calls.size(), 2u);
+    EXPECT_FALSE(calls[0].heterozygous);
+    EXPECT_EQ(calls[0].alt_base, 1u);
+    EXPECT_TRUE(calls[1].heterozygous);
+    EXPECT_EQ(calls[1].alt_base, 2u);
+}
+
+} // namespace
+} // namespace gb

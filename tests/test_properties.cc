@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Parameterized property sweeps across modules: POA consensus vs
+ * coverage depth, batch-SW invariance across batch composition,
+ * pairHMM likelihood normalization, cache-model invariants across
+ * geometries, chaining optimality on structured inputs.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/banded_sw.h"
+#include "arch/cache_sim.h"
+#include "chain/chain.h"
+#include "io/dna.h"
+#include "phmm/pairhmm.h"
+#include "poa/poa.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+std::string
+randomDna(Rng& rng, u64 len)
+{
+    std::string s(len, 'A');
+    for (auto& c : s) c = "ACGT"[rng.below(4)];
+    return s;
+}
+
+std::string
+corrupt(Rng& rng, const std::string& s, double rate)
+{
+    std::string out;
+    for (char c : s) {
+        if (rng.chance(rate / 3)) continue;
+        if (rng.chance(rate / 3)) out += "ACGT"[rng.below(4)];
+        out += rng.chance(rate / 3) ? "ACGT"[rng.below(4)] : c;
+    }
+    if (out.empty()) out = "A";
+    return out;
+}
+
+// --- POA: consensus accuracy improves with coverage ------------------
+
+class PoaDepthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PoaDepthSweep, ConsensusSharedKmersGrowWithDepth)
+{
+    const int depth = GetParam();
+    Rng rng(700 + depth);
+    const std::string truth = randomDna(rng, 160);
+
+    PoaTask task;
+    for (int i = 0; i < depth; ++i) {
+        task.reads.push_back(encodeDna(corrupt(rng, truth, 0.12)));
+    }
+    const std::string consensus = decodeDna(poaConsensus(task));
+
+    u64 shared = 0;
+    u64 total = 0;
+    for (size_t i = 0; i + 13 <= truth.size(); ++i) {
+        ++total;
+        shared += consensus.find(truth.substr(i, 13)) !=
+                  std::string::npos;
+    }
+    const double recall =
+        static_cast<double>(shared) / static_cast<double>(total);
+    // Low depth cannot correct 12 % noise; >= 8 reads should.
+    if (depth >= 8) {
+        EXPECT_GT(recall, 0.8) << "depth " << depth;
+    }
+    EXPECT_GE(recall, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PoaDepthSweep,
+                         ::testing::Values(2, 4, 8, 12, 16));
+
+// --- Batch SW: results invariant to batch composition ----------------
+
+class BatchCompositionSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchCompositionSweep, ScoresIndependentOfNeighbours)
+{
+    // The lockstep aligner must give each pair the same score no
+    // matter which 15 other pairs share its batch.
+    Rng rng(800 + GetParam());
+    std::vector<std::vector<u8>> qs;
+    std::vector<std::vector<u8>> ts;
+    for (int i = 0; i < 48; ++i) {
+        std::vector<u8> q(30 + rng.below(120));
+        for (auto& c : q) c = static_cast<u8>(rng.below(4));
+        std::vector<u8> t = q;
+        for (auto& c : t) {
+            if (rng.chance(0.15)) c = static_cast<u8>(rng.below(4));
+        }
+        qs.push_back(std::move(q));
+        ts.push_back(std::move(t));
+    }
+    SwParams params;
+    params.band_width = 30;
+    const BatchSwAligner aligner(params);
+    NullProbe probe;
+
+    // Baseline: natural order.
+    std::vector<SwPair> pairs;
+    for (size_t i = 0; i < qs.size(); ++i) {
+        pairs.push_back({qs[i], ts[i]});
+    }
+    const auto base = aligner.align(pairs, probe);
+
+    // Shuffled order.
+    std::vector<u32> perm(qs.size());
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    std::vector<SwPair> shuffled;
+    for (u32 i : perm) shuffled.push_back({qs[i], ts[i]});
+    const auto shuf = aligner.align(shuffled, probe);
+    for (size_t i = 0; i < perm.size(); ++i) {
+        EXPECT_EQ(shuf[i].score, base[perm[i]].score);
+        EXPECT_EQ(shuf[i].cell_updates, base[perm[i]].cell_updates);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchCompositionSweep,
+                         ::testing::Range(1, 6));
+
+// --- pairHMM: likelihoods over all reads of length L sum to ~1 -------
+
+TEST(PairHmmProperty, SumOverAllReadsIsBounded)
+{
+    // Sum of P(read | hap) over all 4^L reads of length L equals the
+    // total probability of emitting *some* read of length L, which is
+    // <= 1. Enumerable at L = 4.
+    const auto hap = encodeDna("ACGTTGCA");
+    const u32 len = 4;
+    const std::vector<u8> quals(len, 30);
+    long double total = 0.0L;
+    for (u32 mask = 0; mask < (1u << (2 * len)); ++mask) {
+        std::vector<u8> read(len);
+        for (u32 i = 0; i < len; ++i) {
+            read[i] = static_cast<u8>((mask >> (2 * i)) & 3);
+        }
+        const auto r = pairHmmLogLikelihood(read, quals, hap);
+        total += std::pow(10.0L,
+                          static_cast<long double>(
+                              r.log10_likelihood));
+    }
+    EXPECT_LE(static_cast<double>(total), 1.0 + 1e-6);
+    EXPECT_GT(static_cast<double>(total), 0.3); // most mass captured
+}
+
+// --- Cache model: miss rate monotone in capacity ----------------------
+
+class CacheCapacitySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CacheCapacitySweep, BiggerL1NeverMissesMore)
+{
+    Rng rng(900 + GetParam());
+    // One shared random-ish trace with reuse.
+    std::vector<u64> trace;
+    for (int i = 0; i < 60'000; ++i) {
+        trace.push_back(rng.chance(0.6) ? rng.below(8192) * 8
+                                        : rng.below(1u << 22));
+    }
+    double prev_miss = 1.1;
+    for (u64 kb : {8ull, 16ull, 32ull, 64ull, 128ull}) {
+        CacheHierarchyConfig config;
+        config.l1 = {kb * 1024, 8, 64};
+        CacheSim sim(config);
+        for (u64 addr : trace) sim.access(addr, 4, false);
+        const double miss = sim.l1Stats().missRate();
+        EXPECT_LE(miss, prev_miss + 1e-9) << kb << " KB";
+        prev_miss = miss;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheCapacitySweep,
+                         ::testing::Range(1, 5));
+
+// --- Chaining: on a clean diagonal, DP reaches the optimum ------------
+
+class ChainOptimalitySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ChainOptimalitySweep, CleanDiagonalIsFullyChained)
+{
+    Rng rng(950 + GetParam());
+    // Anchors on a diagonal with small jitter, spacing < max_dist.
+    std::vector<Anchor> anchors;
+    u32 t = 100;
+    for (int i = 0; i < 120; ++i) {
+        const u32 step = 20 + static_cast<u32>(rng.below(60));
+        t += step;
+        const u32 jitter = static_cast<u32>(rng.below(5));
+        anchors.push_back({t, t - 100 + jitter, 15});
+    }
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                  return a.tpos < b.tpos ||
+                         (a.tpos == b.tpos && a.qpos < b.qpos);
+              });
+    const auto chains = chainAnchors(anchors);
+    ASSERT_FALSE(chains.empty());
+    // Nearly all anchors join the single chain.
+    EXPECT_GE(chains[0].anchors.size(), anchors.size() - 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainOptimalitySweep,
+                         ::testing::Range(1, 6));
+
+} // namespace
+} // namespace gb

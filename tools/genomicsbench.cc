@@ -1,0 +1,217 @@
+/**
+ * @file
+ * genomicsbench — command-line driver for the suite.
+ *
+ *   genomicsbench list
+ *   genomicsbench info <kernel>
+ *   genomicsbench run <kernel> [--size=S] [--threads=N] [--repeat=R]
+ *   genomicsbench characterize <kernel> [--size=S]
+ *
+ * `run` times the kernel (wall clock, tasks/s); `characterize` prints
+ * the operation mix, cache behaviour and top-down attribution for one
+ * kernel — the per-kernel view of what the bench_* binaries sweep.
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "arch/cache_sim.h"
+#include "arch/topdown.h"
+#include "core/benchmark.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gb;
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  genomicsbench list\n"
+           "  genomicsbench info <kernel>\n"
+           "  genomicsbench run <kernel> [--size=tiny|small|large]"
+           " [--threads=N] [--repeat=R]\n"
+           "  genomicsbench characterize <kernel>"
+           " [--size=tiny|small|large]\n";
+    return 2;
+}
+
+DatasetSize
+parseSize(const std::string& value)
+{
+    if (value == "tiny") return DatasetSize::kTiny;
+    if (value == "small") return DatasetSize::kSmall;
+    if (value == "large") return DatasetSize::kLarge;
+    throw InputError("unknown size: " + value);
+}
+
+int
+cmdList()
+{
+    Table table("GenomicsBench kernels");
+    table.setHeader({"kernel", "source tool", "motif", "target"});
+    for (const auto& name : kernelNames()) {
+        const auto kernel = createKernel(name);
+        const auto& info = kernel->info();
+        table.newRow()
+            .cell(info.name)
+            .cell(info.source_tool)
+            .cell(info.motif)
+            .cell(info.gpu ? "GPU" : "CPU");
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdInfo(const std::string& name)
+{
+    const auto kernel = createKernel(name);
+    const auto& info = kernel->info();
+    std::cout << "kernel:       " << info.name << '\n'
+              << "source tool:  " << info.source_tool << '\n'
+              << "motif:        " << info.motif << '\n'
+              << "granularity:  " << info.granularity << '\n'
+              << "work unit:    " << info.work_unit << '\n'
+              << "compute:      "
+              << (info.regular ? "regular" : "irregular") << '\n'
+              << "paper target: " << (info.gpu ? "GPU" : "CPU")
+              << '\n';
+    return 0;
+}
+
+int
+cmdRun(const std::string& name, DatasetSize size, unsigned threads,
+       unsigned repeat)
+{
+    auto kernel = createKernel(name);
+    WallTimer prep_timer;
+    kernel->prepare(size);
+    std::cout << "prepared in " << formatF(prep_timer.seconds(), 2)
+              << " s\n";
+
+    ThreadPool pool(threads);
+    double best = 1e300;
+    u64 tasks = 0;
+    for (unsigned r = 0; r < repeat; ++r) {
+        WallTimer timer;
+        tasks = kernel->run(pool);
+        const double seconds = timer.seconds();
+        best = std::min(best, seconds);
+        std::cout << "run " << r + 1 << ": "
+                  << formatF(seconds, 3) << " s, " << tasks
+                  << " tasks ("
+                  << formatF(static_cast<double>(tasks) / seconds, 1)
+                  << " tasks/s)\n";
+    }
+    std::cout << "best: " << formatF(best, 3) << " s with "
+              << pool.numThreads() << " threads\n";
+    return 0;
+}
+
+int
+cmdCharacterize(const std::string& name, DatasetSize size)
+{
+    auto kernel = createKernel(name);
+    kernel->prepare(size);
+
+    CacheSim cache;
+    CharProbe probe(&cache);
+    WallTimer timer;
+    const u64 tasks = kernel->characterize(probe);
+    std::cout << "characterized " << tasks << " tasks in "
+              << formatF(timer.seconds(), 2) << " s (simulated)\n\n";
+
+    const OpCounts& counts = probe.counts();
+    Table mix("Operation mix");
+    mix.setHeader({"class", "count", "fraction"});
+    for (OpClass c :
+         {OpClass::kIntAlu, OpClass::kFpAlu, OpClass::kVecAlu,
+          OpClass::kLoad, OpClass::kStore, OpClass::kBranch}) {
+        mix.newRow()
+            .cell(opClassName(c))
+            .cell(formatCount(counts[c]))
+            .cellF(counts.fraction(c) * 100.0, 1);
+    }
+    mix.print(std::cout);
+
+    Table mem("Memory behaviour");
+    mem.setHeader({"metric", "value"});
+    mem.newRow().cell("L1 miss rate").cellF(
+        cache.l1Stats().missRate() * 100.0, 2);
+    mem.newRow().cell("L2 miss rate").cellF(
+        cache.l2Stats().missRate() * 100.0, 2);
+    mem.newRow().cell("LLC miss rate").cellF(
+        cache.llcStats().missRate() * 100.0, 2);
+    mem.newRow().cell("DRAM bytes").cell(
+        formatCount(cache.dramStats().bytes));
+    mem.newRow().cell("DRAM row-miss rate").cellF(
+        cache.dramStats().rowMissRate() * 100.0, 1);
+    mem.newRow().cell("BPKI").cellF(
+        static_cast<double>(cache.dramStats().bytes) /
+            (static_cast<double>(counts.total()) / 1000.0),
+        2);
+    mem.print(std::cout);
+
+    const auto td = topDownAnalyze(counts, cache, probe.mispredicts());
+    Table topdown("Top-down attribution");
+    topdown.setHeader({"slot class", "percent"});
+    topdown.newRow().cell("retiring").cellF(td.retiring * 100.0, 1);
+    topdown.newRow().cell("front-end").cellF(
+        td.frontend_bound * 100.0, 1);
+    topdown.newRow().cell("bad speculation").cellF(
+        td.bad_speculation * 100.0, 1);
+    topdown.newRow().cell("memory bound").cellF(
+        td.backend_memory * 100.0, 1);
+    topdown.newRow().cell("core bound").cellF(
+        td.backend_core * 100.0, 1);
+    topdown.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "list") return cmdList();
+        if (argc < 3) return usage();
+        const std::string kernel = argv[2];
+
+        DatasetSize size = DatasetSize::kSmall;
+        unsigned threads = 0;
+        unsigned repeat = 3;
+        for (int i = 3; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--size=", 0) == 0) {
+                size = parseSize(arg.substr(7));
+            } else if (arg.rfind("--threads=", 0) == 0) {
+                threads = static_cast<unsigned>(
+                    std::stoul(arg.substr(10)));
+            } else if (arg.rfind("--repeat=", 0) == 0) {
+                repeat = static_cast<unsigned>(
+                    std::stoul(arg.substr(9)));
+            } else {
+                return usage();
+            }
+        }
+
+        if (command == "info") return cmdInfo(kernel);
+        if (command == "run") {
+            return cmdRun(kernel, size, threads, repeat);
+        }
+        if (command == "characterize") {
+            return cmdCharacterize(kernel, size);
+        }
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
