@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abea_band.dir/bench_ablation_abea_band.cc.o"
+  "CMakeFiles/bench_ablation_abea_band.dir/bench_ablation_abea_band.cc.o.d"
+  "bench_ablation_abea_band"
+  "bench_ablation_abea_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abea_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

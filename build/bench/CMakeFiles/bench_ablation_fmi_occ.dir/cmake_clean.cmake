@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fmi_occ.dir/bench_ablation_fmi_occ.cc.o"
+  "CMakeFiles/bench_ablation_fmi_occ.dir/bench_ablation_fmi_occ.cc.o.d"
+  "bench_ablation_fmi_occ"
+  "bench_ablation_fmi_occ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fmi_occ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

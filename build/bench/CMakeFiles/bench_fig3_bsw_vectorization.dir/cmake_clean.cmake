@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bsw_vectorization.dir/bench_fig3_bsw_vectorization.cc.o"
+  "CMakeFiles/bench_fig3_bsw_vectorization.dir/bench_fig3_bsw_vectorization.cc.o.d"
+  "bench_fig3_bsw_vectorization"
+  "bench_fig3_bsw_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bsw_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_instruction_mix.dir/bench_fig5_instruction_mix.cc.o"
+  "CMakeFiles/bench_fig5_instruction_mix.dir/bench_fig5_instruction_mix.cc.o.d"
+  "bench_fig5_instruction_mix"
+  "bench_fig5_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

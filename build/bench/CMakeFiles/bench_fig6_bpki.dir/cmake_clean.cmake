@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bpki.dir/bench_fig6_bpki.cc.o"
+  "CMakeFiles/bench_fig6_bpki.dir/bench_fig6_bpki.cc.o.d"
+  "bench_fig6_bpki"
+  "bench_fig6_bpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_topdown.dir/bench_fig9_topdown.cc.o"
+  "CMakeFiles/bench_fig9_topdown.dir/bench_fig9_topdown.cc.o.d"
+  "bench_fig9_topdown"
+  "bench_fig9_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_parallelism.dir/bench_table3_parallelism.cc.o"
+  "CMakeFiles/bench_table3_parallelism.dir/bench_table3_parallelism.cc.o.d"
+  "bench_table3_parallelism"
+  "bench_table3_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_gpu_regularity.dir/bench_table4_gpu_regularity.cc.o"
+  "CMakeFiles/bench_table4_gpu_regularity.dir/bench_table4_gpu_regularity.cc.o.d"
+  "bench_table4_gpu_regularity"
+  "bench_table4_gpu_regularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gpu_regularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

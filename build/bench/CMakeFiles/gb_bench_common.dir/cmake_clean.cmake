@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_bench_common.dir/gpu_replay.cc.o"
+  "CMakeFiles/gb_bench_common.dir/gpu_replay.cc.o.d"
+  "CMakeFiles/gb_bench_common.dir/harness.cc.o"
+  "CMakeFiles/gb_bench_common.dir/harness.cc.o.d"
+  "libgb_bench_common.a"
+  "libgb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/denovo_polish_pipeline.cc" "examples/CMakeFiles/example_denovo_polish_pipeline.dir/denovo_polish_pipeline.cc.o" "gcc" "examples/CMakeFiles/example_denovo_polish_pipeline.dir/denovo_polish_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/gb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gb_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbg/CMakeFiles/gb_dbg.dir/DependInfo.cmake"
+  "/root/repo/build/src/phmm/CMakeFiles/gb_phmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/gb_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/poa/CMakeFiles/gb_poa.dir/DependInfo.cmake"
+  "/root/repo/build/src/abea/CMakeFiles/gb_abea.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/gb_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/grm/CMakeFiles/gb_grm.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/gb_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pileup/CMakeFiles/gb_pileup.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gb_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_denovo_polish_pipeline.dir/denovo_polish_pipeline.cc.o"
+  "CMakeFiles/example_denovo_polish_pipeline.dir/denovo_polish_pipeline.cc.o.d"
+  "example_denovo_polish_pipeline"
+  "example_denovo_polish_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_denovo_polish_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_denovo_polish_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_metagenomics_pipeline.dir/metagenomics_pipeline.cc.o"
+  "CMakeFiles/example_metagenomics_pipeline.dir/metagenomics_pipeline.cc.o.d"
+  "example_metagenomics_pipeline"
+  "example_metagenomics_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_metagenomics_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

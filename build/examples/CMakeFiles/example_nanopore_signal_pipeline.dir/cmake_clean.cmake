@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nanopore_signal_pipeline.dir/nanopore_signal_pipeline.cc.o"
+  "CMakeFiles/example_nanopore_signal_pipeline.dir/nanopore_signal_pipeline.cc.o.d"
+  "example_nanopore_signal_pipeline"
+  "example_nanopore_signal_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nanopore_signal_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_nanopore_signal_pipeline.
+# This may be replaced when dependencies are built.

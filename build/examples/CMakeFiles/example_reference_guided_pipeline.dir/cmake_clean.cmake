@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reference_guided_pipeline.dir/reference_guided_pipeline.cc.o"
+  "CMakeFiles/example_reference_guided_pipeline.dir/reference_guided_pipeline.cc.o.d"
+  "example_reference_guided_pipeline"
+  "example_reference_guided_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reference_guided_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_reference_guided_pipeline.
+# This may be replaced when dependencies are built.

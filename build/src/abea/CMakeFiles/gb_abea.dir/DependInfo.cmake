@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abea/abea.cc" "src/abea/CMakeFiles/gb_abea.dir/abea.cc.o" "gcc" "src/abea/CMakeFiles/gb_abea.dir/abea.cc.o.d"
+  "/root/repo/src/abea/event_detect.cc" "src/abea/CMakeFiles/gb_abea.dir/event_detect.cc.o" "gcc" "src/abea/CMakeFiles/gb_abea.dir/event_detect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/gb_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/gb_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gb_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_abea.dir/abea.cc.o"
+  "CMakeFiles/gb_abea.dir/abea.cc.o.d"
+  "CMakeFiles/gb_abea.dir/event_detect.cc.o"
+  "CMakeFiles/gb_abea.dir/event_detect.cc.o.d"
+  "libgb_abea.a"
+  "libgb_abea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_abea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_align.dir/banded_sw.cc.o"
+  "CMakeFiles/gb_align.dir/banded_sw.cc.o.d"
+  "libgb_align.a"
+  "libgb_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache_sim.cc" "src/arch/CMakeFiles/gb_arch.dir/cache_sim.cc.o" "gcc" "src/arch/CMakeFiles/gb_arch.dir/cache_sim.cc.o.d"
+  "/root/repo/src/arch/probe.cc" "src/arch/CMakeFiles/gb_arch.dir/probe.cc.o" "gcc" "src/arch/CMakeFiles/gb_arch.dir/probe.cc.o.d"
+  "/root/repo/src/arch/simt.cc" "src/arch/CMakeFiles/gb_arch.dir/simt.cc.o" "gcc" "src/arch/CMakeFiles/gb_arch.dir/simt.cc.o.d"
+  "/root/repo/src/arch/topdown.cc" "src/arch/CMakeFiles/gb_arch.dir/topdown.cc.o" "gcc" "src/arch/CMakeFiles/gb_arch.dir/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_arch.dir/cache_sim.cc.o"
+  "CMakeFiles/gb_arch.dir/cache_sim.cc.o.d"
+  "CMakeFiles/gb_arch.dir/probe.cc.o"
+  "CMakeFiles/gb_arch.dir/probe.cc.o.d"
+  "CMakeFiles/gb_arch.dir/simt.cc.o"
+  "CMakeFiles/gb_arch.dir/simt.cc.o.d"
+  "CMakeFiles/gb_arch.dir/topdown.cc.o"
+  "CMakeFiles/gb_arch.dir/topdown.cc.o.d"
+  "libgb_arch.a"
+  "libgb_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

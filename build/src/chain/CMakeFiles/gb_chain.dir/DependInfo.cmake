@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/chain.cc" "src/chain/CMakeFiles/gb_chain.dir/chain.cc.o" "gcc" "src/chain/CMakeFiles/gb_chain.dir/chain.cc.o.d"
+  "/root/repo/src/chain/mapper.cc" "src/chain/CMakeFiles/gb_chain.dir/mapper.cc.o" "gcc" "src/chain/CMakeFiles/gb_chain.dir/mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/gb_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/gb_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

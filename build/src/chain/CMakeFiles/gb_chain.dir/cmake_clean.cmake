@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_chain.dir/chain.cc.o"
+  "CMakeFiles/gb_chain.dir/chain.cc.o.d"
+  "CMakeFiles/gb_chain.dir/mapper.cc.o"
+  "CMakeFiles/gb_chain.dir/mapper.cc.o.d"
+  "libgb_chain.a"
+  "libgb_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

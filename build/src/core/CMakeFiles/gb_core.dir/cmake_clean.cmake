@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_core.dir/kernel_bsw.cc.o"
+  "CMakeFiles/gb_core.dir/kernel_bsw.cc.o.d"
+  "CMakeFiles/gb_core.dir/kernel_chain_spoa.cc.o"
+  "CMakeFiles/gb_core.dir/kernel_chain_spoa.cc.o.d"
+  "CMakeFiles/gb_core.dir/kernel_dbg_phmm.cc.o"
+  "CMakeFiles/gb_core.dir/kernel_dbg_phmm.cc.o.d"
+  "CMakeFiles/gb_core.dir/kernel_fmi.cc.o"
+  "CMakeFiles/gb_core.dir/kernel_fmi.cc.o.d"
+  "CMakeFiles/gb_core.dir/kernel_misc.cc.o"
+  "CMakeFiles/gb_core.dir/kernel_misc.cc.o.d"
+  "CMakeFiles/gb_core.dir/kernel_signal.cc.o"
+  "CMakeFiles/gb_core.dir/kernel_signal.cc.o.d"
+  "CMakeFiles/gb_core.dir/registry.cc.o"
+  "CMakeFiles/gb_core.dir/registry.cc.o.d"
+  "libgb_core.a"
+  "libgb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_dbg.dir/debruijn.cc.o"
+  "CMakeFiles/gb_dbg.dir/debruijn.cc.o.d"
+  "libgb_dbg.a"
+  "libgb_dbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_dbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_grm.dir/grm.cc.o"
+  "CMakeFiles/gb_grm.dir/grm.cc.o.d"
+  "libgb_grm.a"
+  "libgb_grm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_grm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

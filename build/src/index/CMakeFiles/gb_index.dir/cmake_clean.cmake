@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_index.dir/fm_index.cc.o"
+  "CMakeFiles/gb_index.dir/fm_index.cc.o.d"
+  "CMakeFiles/gb_index.dir/suffix_array.cc.o"
+  "CMakeFiles/gb_index.dir/suffix_array.cc.o.d"
+  "libgb_index.a"
+  "libgb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/alignment.cc" "src/io/CMakeFiles/gb_io.dir/alignment.cc.o" "gcc" "src/io/CMakeFiles/gb_io.dir/alignment.cc.o.d"
+  "/root/repo/src/io/cigar.cc" "src/io/CMakeFiles/gb_io.dir/cigar.cc.o" "gcc" "src/io/CMakeFiles/gb_io.dir/cigar.cc.o.d"
+  "/root/repo/src/io/dna.cc" "src/io/CMakeFiles/gb_io.dir/dna.cc.o" "gcc" "src/io/CMakeFiles/gb_io.dir/dna.cc.o.d"
+  "/root/repo/src/io/fasta.cc" "src/io/CMakeFiles/gb_io.dir/fasta.cc.o" "gcc" "src/io/CMakeFiles/gb_io.dir/fasta.cc.o.d"
+  "/root/repo/src/io/vcf.cc" "src/io/CMakeFiles/gb_io.dir/vcf.cc.o" "gcc" "src/io/CMakeFiles/gb_io.dir/vcf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

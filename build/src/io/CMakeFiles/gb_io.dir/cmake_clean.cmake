@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_io.dir/alignment.cc.o"
+  "CMakeFiles/gb_io.dir/alignment.cc.o.d"
+  "CMakeFiles/gb_io.dir/cigar.cc.o"
+  "CMakeFiles/gb_io.dir/cigar.cc.o.d"
+  "CMakeFiles/gb_io.dir/dna.cc.o"
+  "CMakeFiles/gb_io.dir/dna.cc.o.d"
+  "CMakeFiles/gb_io.dir/fasta.cc.o"
+  "CMakeFiles/gb_io.dir/fasta.cc.o.d"
+  "CMakeFiles/gb_io.dir/vcf.cc.o"
+  "CMakeFiles/gb_io.dir/vcf.cc.o.d"
+  "libgb_io.a"
+  "libgb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

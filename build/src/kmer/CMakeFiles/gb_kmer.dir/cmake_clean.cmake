@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_kmer.dir/kmer_counter.cc.o"
+  "CMakeFiles/gb_kmer.dir/kmer_counter.cc.o.d"
+  "libgb_kmer.a"
+  "libgb_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

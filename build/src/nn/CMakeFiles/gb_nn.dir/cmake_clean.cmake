@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_nn.dir/bonito.cc.o"
+  "CMakeFiles/gb_nn.dir/bonito.cc.o.d"
+  "CMakeFiles/gb_nn.dir/clair.cc.o"
+  "CMakeFiles/gb_nn.dir/clair.cc.o.d"
+  "CMakeFiles/gb_nn.dir/ctc.cc.o"
+  "CMakeFiles/gb_nn.dir/ctc.cc.o.d"
+  "CMakeFiles/gb_nn.dir/layers.cc.o"
+  "CMakeFiles/gb_nn.dir/layers.cc.o.d"
+  "libgb_nn.a"
+  "libgb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

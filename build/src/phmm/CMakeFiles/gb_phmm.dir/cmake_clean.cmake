@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_phmm.dir/pairhmm.cc.o"
+  "CMakeFiles/gb_phmm.dir/pairhmm.cc.o.d"
+  "libgb_phmm.a"
+  "libgb_phmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_phmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_pileup.dir/pileup.cc.o"
+  "CMakeFiles/gb_pileup.dir/pileup.cc.o.d"
+  "libgb_pileup.a"
+  "libgb_pileup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_pileup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_poa.dir/poa.cc.o"
+  "CMakeFiles/gb_poa.dir/poa.cc.o.d"
+  "libgb_poa.a"
+  "libgb_poa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_poa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdata/genome.cc" "src/simdata/CMakeFiles/gb_simdata.dir/genome.cc.o" "gcc" "src/simdata/CMakeFiles/gb_simdata.dir/genome.cc.o.d"
+  "/root/repo/src/simdata/genotypes.cc" "src/simdata/CMakeFiles/gb_simdata.dir/genotypes.cc.o" "gcc" "src/simdata/CMakeFiles/gb_simdata.dir/genotypes.cc.o.d"
+  "/root/repo/src/simdata/pore_model.cc" "src/simdata/CMakeFiles/gb_simdata.dir/pore_model.cc.o" "gcc" "src/simdata/CMakeFiles/gb_simdata.dir/pore_model.cc.o.d"
+  "/root/repo/src/simdata/reads.cc" "src/simdata/CMakeFiles/gb_simdata.dir/reads.cc.o" "gcc" "src/simdata/CMakeFiles/gb_simdata.dir/reads.cc.o.d"
+  "/root/repo/src/simdata/variants.cc" "src/simdata/CMakeFiles/gb_simdata.dir/variants.cc.o" "gcc" "src/simdata/CMakeFiles/gb_simdata.dir/variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/gb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

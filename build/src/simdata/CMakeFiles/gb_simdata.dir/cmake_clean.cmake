@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_simdata.dir/genome.cc.o"
+  "CMakeFiles/gb_simdata.dir/genome.cc.o.d"
+  "CMakeFiles/gb_simdata.dir/genotypes.cc.o"
+  "CMakeFiles/gb_simdata.dir/genotypes.cc.o.d"
+  "CMakeFiles/gb_simdata.dir/pore_model.cc.o"
+  "CMakeFiles/gb_simdata.dir/pore_model.cc.o.d"
+  "CMakeFiles/gb_simdata.dir/reads.cc.o"
+  "CMakeFiles/gb_simdata.dir/reads.cc.o.d"
+  "CMakeFiles/gb_simdata.dir/variants.cc.o"
+  "CMakeFiles/gb_simdata.dir/variants.cc.o.d"
+  "libgb_simdata.a"
+  "libgb_simdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_util.dir/stats.cc.o"
+  "CMakeFiles/gb_util.dir/stats.cc.o.d"
+  "CMakeFiles/gb_util.dir/table.cc.o"
+  "CMakeFiles/gb_util.dir/table.cc.o.d"
+  "CMakeFiles/gb_util.dir/thread_pool.cc.o"
+  "CMakeFiles/gb_util.dir/thread_pool.cc.o.d"
+  "libgb_util.a"
+  "libgb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abea.dir/test_abea.cc.o"
+  "CMakeFiles/test_abea.dir/test_abea.cc.o.d"
+  "test_abea"
+  "test_abea.pdb"
+  "test_abea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

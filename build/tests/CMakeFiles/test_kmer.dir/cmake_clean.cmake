@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmer.dir/test_kmer.cc.o"
+  "CMakeFiles/test_kmer.dir/test_kmer.cc.o.d"
+  "test_kmer"
+  "test_kmer.pdb"
+  "test_kmer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

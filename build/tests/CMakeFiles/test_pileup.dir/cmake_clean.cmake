@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pileup.dir/test_pileup.cc.o"
+  "CMakeFiles/test_pileup.dir/test_pileup.cc.o.d"
+  "test_pileup"
+  "test_pileup.pdb"
+  "test_pileup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pileup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

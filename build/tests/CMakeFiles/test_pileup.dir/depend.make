@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pileup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipelines.dir/test_pipelines.cc.o"
+  "CMakeFiles/test_pipelines.dir/test_pipelines.cc.o.d"
+  "test_pipelines"
+  "test_pipelines.pdb"
+  "test_pipelines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poa.dir/test_poa.cc.o"
+  "CMakeFiles/test_poa.dir/test_poa.cc.o.d"
+  "test_poa"
+  "test_poa.pdb"
+  "test_poa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

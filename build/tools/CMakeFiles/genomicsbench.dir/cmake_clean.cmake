@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomicsbench.dir/genomicsbench.cc.o"
+  "CMakeFiles/genomicsbench.dir/genomicsbench.cc.o.d"
+  "genomicsbench"
+  "genomicsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomicsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
