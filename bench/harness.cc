@@ -1,13 +1,77 @@
 #include "harness.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 
+#include "store/cache.h"
+
 namespace gb::bench {
 
+namespace {
+
+/** Flags every bench binary understands (name only, sans value). */
+constexpr const char* kKnownFlags[] = {"--size", "--threads",
+                                       "--kernels", "--cache-dir",
+                                       "--help"};
+
+/** Levenshtein distance, small-string use only. */
+u64
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<u64> prev(b.size() + 1);
+    std::vector<u64> curr(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        curr[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            const u64 sub = prev[j - 1] + (a[i - 1] != b[j - 1]);
+            curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[b.size()];
+}
+
+/** "unknown option: --thread=8 (did you mean --threads?)" */
+std::string
+unknownOption(const std::string& arg)
+{
+    const std::string name = arg.substr(0, arg.find('='));
+    std::string best;
+    u64 best_dist = 3; // suggest only near misses
+    for (const char* flag : kKnownFlags) {
+        const u64 dist = editDistance(name, flag);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = flag;
+        }
+    }
+    std::string message = "unknown option: " + arg;
+    if (!best.empty()) {
+        message += " (did you mean " + best + "?)";
+    }
+    return message;
+}
+
+unsigned
+parseUnsigned(std::string_view flag, std::string_view text)
+{
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    requireInput(ec == std::errc() && ptr == text.data() + text.size(),
+                 std::string(flag) + " expects a non-negative number, "
+                     "got '" + std::string(text) + "'");
+    return value;
+}
+
+} // namespace
+
 Options
-Options::parse(int argc, char** argv, DatasetSize default_size)
+Options::parseStrict(int argc, char** argv, DatasetSize default_size)
 {
     Options opt;
     opt.size = default_size;
@@ -25,26 +89,49 @@ Options::parse(int argc, char** argv, DatasetSize default_size)
             } else if (v == "large") {
                 opt.size = DatasetSize::kLarge;
             } else {
-                throw InputError("unknown --size value: " + v);
+                throw InputError(
+                    "unknown --size value: " + v +
+                    " (expected tiny, small or large)");
             }
         } else if (arg.rfind("--threads=", 0) == 0) {
-            opt.threads = static_cast<unsigned>(
-                std::stoul(value("--threads=")));
+            opt.threads =
+                parseUnsigned("--threads", value("--threads="));
         } else if (arg.rfind("--kernels=", 0) == 0) {
             std::istringstream list(value("--kernels="));
             std::string name;
             while (std::getline(list, name, ',')) {
                 if (!name.empty()) opt.kernels.push_back(name);
             }
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            opt.cache_dir = value("--cache-dir=");
+            requireInput(!opt.cache_dir.empty(),
+                         "--cache-dir expects a directory path");
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "options: --size=tiny|small|large "
-                         "--threads=N --kernels=a,b,c\n";
+                         "--threads=N --kernels=a,b,c "
+                         "--cache-dir=DIR\n";
             std::exit(0);
         } else {
-            throw InputError("unknown option: " + arg);
+            throw InputError(unknownOption(arg));
         }
     }
     return opt;
+}
+
+Options
+Options::parse(int argc, char** argv, DatasetSize default_size)
+{
+    try {
+        const Options opt = parseStrict(argc, argv, default_size);
+        if (!opt.cache_dir.empty()) {
+            store::setCacheDir(opt.cache_dir);
+        }
+        return opt;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what()
+                  << "\nrun with --help for usage\n";
+        std::exit(2);
+    }
 }
 
 std::vector<std::string>
@@ -82,8 +169,11 @@ printHeader(const std::string& experiment, const std::string& paper_ref,
               << "\n### dataset: " << sizeName(options.size)
               << ", threads: "
               << (options.threads ? std::to_string(options.threads)
-                                  : std::string("auto"))
-              << "\n\n";
+                                  : std::string("auto"));
+    if (!options.cache_dir.empty()) {
+        std::cout << ", artifact cache: " << options.cache_dir;
+    }
+    std::cout << "\n\n";
 }
 
 } // namespace gb::bench

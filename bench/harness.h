@@ -6,6 +6,12 @@
  *   --size=tiny|small|large   dataset preset (default per binary)
  *   --threads=N               worker threads for timed runs
  *   --kernels=a,b,c           restrict to a kernel subset
+ *   --cache-dir=DIR           build-or-load prepared artifacts from a
+ *                             gb::store cache (see docs/store-format.md)
+ *
+ * Unknown flags are rejected with a clear error (and a did-you-mean
+ * suggestion), so a typo like --thread=8 can never silently run the
+ * sweep single-threaded.
  */
 #ifndef GB_BENCH_HARNESS_H
 #define GB_BENCH_HARNESS_H
@@ -27,9 +33,23 @@ struct Options
     DatasetSize size = DatasetSize::kSmall;
     unsigned threads = 0; ///< 0 = hardware concurrency
     std::vector<std::string> kernels; ///< empty = all
+    std::string cache_dir; ///< empty = artifact caching disabled
 
+    /**
+     * Parse argv; on any bad option prints a clear error (with a
+     * did-you-mean suggestion for near-miss flags) and exits with
+     * status 2. A --cache-dir value is applied to the process-global
+     * store::ArtifactCache, so every kernel prepare() after parse()
+     * transparently builds-or-loads.
+     */
     static Options parse(int argc, char** argv,
                          DatasetSize default_size = DatasetSize::kSmall);
+
+    /** parse() minus the exit-on-error and cache side effects;
+     *  throws InputError instead (used by tests). */
+    static Options parseStrict(
+        int argc, char** argv,
+        DatasetSize default_size = DatasetSize::kSmall);
 
     /** Kernel names honouring --kernels. */
     std::vector<std::string> kernelList() const;

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 build + tests, the gb::store test suite
+# under ASan/UBSan, and an end-to-end artifact-cache smoke test
+# (store build -> store verify -> warm bench run + corruption and
+# bad-flag rejection checks).
+#
+# Usage: scripts/check.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$PWD
+JOBS=$(nproc 2>/dev/null || echo 4)
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+# ----------------------------------------------------------------- tier 1
+step "tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+step "tier-1: ctest"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+# ------------------------------------------------------- sanitizer build
+if [[ $SKIP_SAN -eq 0 ]]; then
+    step "ASan/UBSan: build + run store tests"
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+        >/dev/null
+    cmake --build build-asan -j"$JOBS" --target test_store
+    ./build-asan/tests/test_store
+fi
+
+# ------------------------------------------------------ cache smoke test
+step "artifact cache: build -> verify -> warm run"
+GB=./build/tools/genomicsbench
+CACHE=$(mktemp -d)
+trap 'rm -rf "$CACHE"' EXIT
+
+"$GB" store build --cache-dir="$CACHE" --size=tiny
+"$GB" store verify --cache-dir="$CACHE"
+
+# Warm run must hit the cache for every cached kernel.
+"$GB" run fmi --size=tiny --cache-dir="$CACHE" | tee /tmp/gb_warm.txt
+grep -q "1 hit" /tmp/gb_warm.txt || {
+    echo "FAIL: warm run did not hit the artifact cache" >&2
+    exit 1
+}
+
+# A flipped byte must be caught by store verify (exit 1).
+victim=$(ls "$CACHE"/fmi-*.gbs | head -1)
+python3 - "$victim" <<'EOF'
+import sys
+path = sys.argv[1]
+with open(path, "r+b") as f:
+    f.seek(100)
+    byte = f.read(1)
+    f.seek(100)
+    f.write(bytes([byte[0] ^ 0x40]))
+EOF
+if "$GB" store verify "$victim" >/dev/null 2>&1; then
+    echo "FAIL: store verify accepted a corrupted file" >&2
+    exit 1
+fi
+echo "corruption detected as expected"
+
+# ------------------------------------------------- CLI error handling
+step "bench CLI: unknown flags are rejected"
+set +e
+./build/bench/bench_table2_overview --thread=8 >/dev/null 2>/tmp/gb_flag.txt
+status=$?
+set -e
+if [[ $status -ne 2 ]] || ! grep -q "did you mean --threads" /tmp/gb_flag.txt; then
+    echo "FAIL: --thread=8 was not rejected with a suggestion" >&2
+    cat /tmp/gb_flag.txt >&2
+    exit 1
+fi
+echo "bad flag rejected with: $(cat /tmp/gb_flag.txt | head -1)"
+
+step "all checks passed"

@@ -31,7 +31,7 @@ readPod(std::istream& in, T& value)
 
 template <typename T>
 void
-writeVec(std::ostream& out, const std::vector<T>& vec)
+writeVec(std::ostream& out, std::span<const T> vec)
 {
     writePod(out, static_cast<u64>(vec.size()));
     out.write(reinterpret_cast<const char*>(vec.data()),
@@ -92,13 +92,13 @@ FmIndex::build(std::string_view reference, u32 block_len)
 
     // Checkpoint counts every block_len symbols + the raw BWT.
     const u64 num_blocks = ceilDiv<u64>(fm.n_, block_len) + 1;
-    fm.counts_.assign(num_blocks * kAlphabet, 0);
-    fm.bwt_ = bwt;
-    fm.bwt_.resize(num_blocks * block_len, kSentinel);
+    fm.counts_own_.assign(num_blocks * kAlphabet, 0);
+    fm.bwt_own_ = bwt;
+    fm.bwt_own_.resize(num_blocks * block_len, kSentinel);
     std::array<u32, kAlphabet> running{};
     for (u64 b = 0; b < num_blocks; ++b) {
         for (u32 c = 0; c < kAlphabet; ++c) {
-            fm.counts_[b * kAlphabet + c] = running[c];
+            fm.counts_own_[b * kAlphabet + c] = running[c];
         }
         for (u32 j = 0; j < block_len; ++j) {
             const u64 pos = b * block_len + j;
@@ -107,10 +107,98 @@ FmIndex::build(std::string_view reference, u32 block_len)
     }
 
     // Position-sampled SA: pos_of_row_[row] = SA[row] when sampled.
-    fm.sa_samples_.assign(fm.n_, kUnsampled);
+    fm.sa_own_.assign(fm.n_, kUnsampled);
     for (u64 row = 0; row < fm.n_; ++row) {
-        if (sa[row] % kSaSampleRate == 0) fm.sa_samples_[row] = sa[row];
+        if (sa[row] % kSaSampleRate == 0) fm.sa_own_[row] = sa[row];
     }
+    fm.rebindOwned();
+    return fm;
+}
+
+FmIndex&
+FmIndex::operator=(const FmIndex& other)
+{
+    if (this == &other) return *this;
+    ref_len_ = other.ref_len_;
+    n_ = other.n_;
+    block_len_ = other.block_len_;
+    c_ = other.c_;
+    counts_own_ = other.counts_own_;
+    bwt_own_ = other.bwt_own_;
+    sa_own_ = other.sa_own_;
+    backing_ = other.backing_;
+    if (backing_) {
+        // Views share the external backing; spans stay valid.
+        counts_ = other.counts_;
+        bwt_ = other.bwt_;
+        sa_samples_ = other.sa_samples_;
+    } else {
+        rebindOwned();
+    }
+    return *this;
+}
+
+void
+FmIndex::rebindOwned()
+{
+    counts_ = counts_own_;
+    bwt_ = bwt_own_;
+    sa_samples_ = sa_own_;
+    backing_.reset();
+}
+
+void
+FmIndex::checkParts(u64 ref_len, u64 n, u32 block_len, u64 counts_size,
+                    u64 bwt_size, u64 sa_size)
+{
+    requireInput(n == 2 * ref_len + 2 && block_len >= 8 &&
+                     block_len <= 4096,
+                 "FM-index: inconsistent header");
+    const u64 num_blocks = ceilDiv<u64>(n, block_len) + 1;
+    requireInput(counts_size == num_blocks * kAlphabet &&
+                     bwt_size == num_blocks * block_len &&
+                     sa_size == n,
+                 "FM-index: inconsistent payload");
+}
+
+FmIndex
+FmIndex::fromParts(u64 ref_len, u32 block_len,
+                   const std::array<u64, kAlphabet + 1>& c,
+                   std::vector<u32> counts, std::vector<u8> bwt,
+                   std::vector<u32> sa_samples)
+{
+    checkParts(ref_len, 2 * ref_len + 2, block_len, counts.size(),
+               bwt.size(), sa_samples.size());
+    FmIndex fm;
+    fm.ref_len_ = ref_len;
+    fm.n_ = 2 * ref_len + 2;
+    fm.block_len_ = block_len;
+    fm.c_ = c;
+    fm.counts_own_ = std::move(counts);
+    fm.bwt_own_ = std::move(bwt);
+    fm.sa_own_ = std::move(sa_samples);
+    fm.rebindOwned();
+    return fm;
+}
+
+FmIndex
+FmIndex::fromViews(u64 ref_len, u32 block_len,
+                   const std::array<u64, kAlphabet + 1>& c,
+                   std::span<const u32> counts, std::span<const u8> bwt,
+                   std::span<const u32> sa_samples,
+                   std::shared_ptr<const void> backing)
+{
+    checkParts(ref_len, 2 * ref_len + 2, block_len, counts.size(),
+               bwt.size(), sa_samples.size());
+    FmIndex fm;
+    fm.ref_len_ = ref_len;
+    fm.n_ = 2 * ref_len + 2;
+    fm.block_len_ = block_len;
+    fm.c_ = c;
+    fm.counts_ = counts;
+    fm.bwt_ = bwt;
+    fm.sa_samples_ = sa_samples;
+    fm.backing_ = std::move(backing);
     return fm;
 }
 
@@ -187,12 +275,13 @@ FmIndex::load(std::istream& in)
                  "FM-index load: inconsistent header");
     for (u64& c : fm.c_) readPod(in, c);
     const u64 cap = 64 * (fm.n_ + 4096);
-    readVec(in, fm.counts_, cap);
-    readVec(in, fm.bwt_, cap);
-    readVec(in, fm.sa_samples_, cap);
-    requireInput(fm.sa_samples_.size() == fm.n_ &&
-                     fm.bwt_.size() >= fm.n_,
+    readVec(in, fm.counts_own_, cap);
+    readVec(in, fm.bwt_own_, cap);
+    readVec(in, fm.sa_own_, cap);
+    requireInput(fm.sa_own_.size() == fm.n_ &&
+                     fm.bwt_own_.size() >= fm.n_,
                  "FM-index load: inconsistent payload");
+    fm.rebindOwned();
     return fm;
 }
 

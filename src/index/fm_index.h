@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <array>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -78,6 +79,50 @@ class FmIndex
      */
     static FmIndex build(std::string_view reference,
                          u32 block_len = 64);
+
+    FmIndex() = default;
+    // The occ/BWT/SA members are spans that normally point into the
+    // owned vectors (or into an mmap backing for zero-copy loads), so
+    // copies must re-point them and moves can rely on vector moves
+    // keeping heap buffers alive.
+    FmIndex(const FmIndex& other) { *this = other; }
+    FmIndex& operator=(const FmIndex& other);
+    FmIndex(FmIndex&&) noexcept = default;
+    FmIndex& operator=(FmIndex&&) noexcept = default;
+
+    /**
+     * Assemble an index from its constituent arrays (owning copy);
+     * validates the same invariants as load(). Used by gb::store.
+     */
+    static FmIndex fromParts(u64 ref_len, u32 block_len,
+                             const std::array<u64, kAlphabet + 1>& c,
+                             std::vector<u32> counts,
+                             std::vector<u8> bwt,
+                             std::vector<u32> sa_samples);
+
+    /**
+     * Assemble an index over externally-owned flat arrays without
+     * copying them (the mmap zero-copy load path). `backing` is held
+     * for the index's lifetime and must keep the spans valid — e.g.
+     * the store::StoreReader whose mapping they point into.
+     */
+    static FmIndex fromViews(u64 ref_len, u32 block_len,
+                             const std::array<u64, kAlphabet + 1>& c,
+                             std::span<const u32> counts,
+                             std::span<const u8> bwt,
+                             std::span<const u32> sa_samples,
+                             std::shared_ptr<const void> backing);
+
+    /** Constituent-array accessors (for serialization). */
+    std::span<const u32> occCounts() const { return counts_; }
+    std::span<const u8> bwtData() const { return bwt_; }
+    std::span<const u32> saSamples() const { return sa_samples_; }
+    const std::array<u64, kAlphabet + 1>& cumulative() const
+    {
+        return c_;
+    }
+    /** True when the flat arrays view external (mmap) storage. */
+    bool isView() const { return backing_ != nullptr; }
 
     /** Occ checkpoint spacing this index was built with. */
     u32 blockLen() const { return block_len_; }
@@ -338,13 +383,29 @@ class FmIndex
     /** occ for one symbol, no probe (used by locate's LF walk). */
     u64 occOne(u8 symbol, u64 i) const;
 
+    /** Point the spans at the owned vectors. */
+    void rebindOwned();
+
+    /** Validate header fields + array sizes (shared by the loaders). */
+    static void checkParts(u64 ref_len, u64 n, u32 block_len,
+                           u64 counts_size, u64 bwt_size, u64 sa_size);
+
     u64 ref_len_ = 0;
     u64 n_ = 0;                   ///< BWT length
     u32 block_len_ = 64;
     std::array<u64, kAlphabet + 1> c_{}; ///< cumulative symbol counts
-    std::vector<u32> counts_;     ///< per-block checkpoint counts
-    std::vector<u8> bwt_;         ///< the BWT string itself
-    std::vector<u32> sa_samples_; ///< SA[i] for i % kSaSampleRate == 0
+
+    // Owned storage (empty when viewing an external backing).
+    std::vector<u32> counts_own_;
+    std::vector<u8> bwt_own_;
+    std::vector<u32> sa_own_;
+
+    // The arrays the query paths index into: either the owned vectors
+    // above or flat sections of `backing_`.
+    std::span<const u32> counts_; ///< per-block checkpoint counts
+    std::span<const u8> bwt_;     ///< the BWT string itself
+    std::span<const u32> sa_samples_; ///< SA[i], kSaSampleRate-sampled
+    std::shared_ptr<const void> backing_; ///< keepalive for views
 };
 
 } // namespace gb

@@ -40,6 +40,32 @@ KmerCounter::KmerCounter(u32 capacity_log2, HashScheme scheme)
     counts_.assign(capacity, 0);
 }
 
+KmerCounter
+KmerCounter::fromParts(HashScheme scheme, std::vector<u64> keys,
+                       std::vector<u16> counts)
+{
+    const u64 capacity = keys.size();
+    requireInput(capacity >= 16 && (capacity & (capacity - 1)) == 0 &&
+                     counts.size() == capacity,
+                 "kmer counter fromParts: keys/counts must have equal "
+                 "power-of-two size");
+    KmerCounter table(4, scheme);
+    table.mask_ = capacity - 1;
+    table.keys_ = std::move(keys);
+    table.counts_ = std::move(counts);
+    table.occupied_ = 0;
+    for (u64 i = 0; i < capacity; ++i) {
+        if (table.keys_[i] != kEmpty) {
+            requireInput(table.counts_[i] > 0,
+                         "kmer counter fromParts: occupied slot with "
+                         "zero count");
+            ++table.occupied_;
+        }
+    }
+    table.checkLoad();
+    return table;
+}
+
 void
 KmerCounter::checkLoad()
 {

@@ -81,6 +81,20 @@ class KmerCounter
     explicit KmerCounter(u32 capacity_log2,
                          HashScheme scheme = HashScheme::kRobinHood);
 
+    /**
+     * Reassemble a table from its flat arrays (as serialized by
+     * gb::store). keys/counts must have equal power-of-two size;
+     * occupancy is recomputed, probe statistics reset.
+     */
+    static KmerCounter fromParts(HashScheme scheme,
+                                 std::vector<u64> keys,
+                                 std::vector<u16> counts);
+
+    /** Flat-array accessors (for serialization). */
+    std::span<const u64> keys() const { return keys_; }
+    std::span<const u16> rawCounts() const { return counts_; }
+    HashScheme scheme() const { return scheme_; }
+
     /** Increment the count of `kmer` (saturating at 65535). */
     template <typename Probe>
     void

@@ -1,0 +1,105 @@
+#include "store/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+namespace gb::store {
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir))
+{
+    requireInput(!dir_.empty(), "cache: empty directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    requireInput(!ec, "cache: cannot create directory '" + dir_ +
+                          "': " + ec.message());
+}
+
+std::string
+ArtifactCache::pathFor(std::string_view family, u64 key) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + std::string(family) + "-" + hex + ".gbs";
+}
+
+std::shared_ptr<StoreReader>
+ArtifactCache::tryOpen(std::string_view family, u64 key)
+{
+    if (!enabled()) return nullptr;
+    const std::string path = pathFor(family, key);
+    if (!std::filesystem::exists(path)) {
+        ++misses_;
+        return nullptr;
+    }
+    try {
+        auto reader = std::make_shared<StoreReader>(
+            StoreReader::open(path, ReadMode::kMmap));
+        ++hits_;
+        return reader;
+    } catch (const std::exception& e) {
+        std::cerr << "warning: discarding unreadable cache file "
+                  << path << ": " << e.what() << '\n';
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        ++misses_;
+        return nullptr;
+    }
+}
+
+bool
+ArtifactCache::load(
+    std::string_view family, u64 key,
+    const std::function<void(const std::shared_ptr<StoreReader>&)>& use)
+{
+    auto reader = tryOpen(family, key);
+    if (!reader) return false;
+    try {
+        use(reader);
+        return true;
+    } catch (const InputError& e) {
+        const std::string path = pathFor(family, key);
+        std::cerr << "warning: discarding corrupt cache file " << path
+                  << ": " << e.what() << '\n';
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        --hits_;
+        ++misses_;
+        return false;
+    }
+}
+
+bool
+ArtifactCache::write(std::string_view family, u64 key,
+                     const std::function<void(StoreWriter&)>& fill)
+{
+    if (!enabled()) return false;
+    const std::string path = pathFor(family, key);
+    try {
+        StoreWriter writer(path);
+        fill(writer);
+        writer.finish();
+        return true;
+    } catch (const std::exception& e) {
+        std::cerr << "warning: could not write cache file " << path
+                  << ": " << e.what() << '\n';
+        return false;
+    }
+}
+
+ArtifactCache&
+globalCache()
+{
+    static ArtifactCache cache;
+    return cache;
+}
+
+void
+setCacheDir(const std::string& dir)
+{
+    globalCache() =
+        dir.empty() ? ArtifactCache() : ArtifactCache(dir);
+}
+
+} // namespace gb::store

@@ -1,0 +1,318 @@
+#include "store/container.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GB_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/hash.h"
+
+namespace gb::store {
+
+namespace {
+
+std::string
+quoted(std::string_view name)
+{
+    return "'" + std::string(name) + "'";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// StoreWriter
+
+StoreWriter::StoreWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp")
+{
+    out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+    requireInput(out_.is_open(),
+                 "store: cannot create " + quoted(tmp_path_));
+    const StoreHeader placeholder{};
+    out_.write(reinterpret_cast<const char*>(&placeholder),
+               sizeof(placeholder));
+    cursor_ = sizeof(StoreHeader);
+}
+
+StoreWriter::~StoreWriter()
+{
+    if (!finished_) {
+        out_.close();
+        std::remove(tmp_path_.c_str());
+    }
+}
+
+void
+StoreWriter::add(std::string_view name, const void* data, u64 bytes)
+{
+    requireInput(!finished_, "store: add() after finish()");
+    requireInput(!name.empty() && name.size() <= kMaxName,
+                 "store: section name must be 1.." +
+                     std::to_string(kMaxName) + " chars: " +
+                     quoted(name));
+    for (const TocEntry& e : toc_) {
+        requireInput(name != e.name,
+                     "store: duplicate section " + quoted(name));
+    }
+
+    // Pad to the section alignment boundary.
+    const u64 aligned = roundUp<u64>(cursor_, kAlign);
+    static const char kZeros[kAlign] = {};
+    out_.write(kZeros, static_cast<std::streamsize>(aligned - cursor_));
+    cursor_ = aligned;
+
+    TocEntry entry{};
+    std::memcpy(entry.name, name.data(), name.size());
+    entry.offset = cursor_;
+    entry.size = bytes;
+    entry.digest = xxhash64(data, bytes);
+    toc_.push_back(entry);
+
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+    cursor_ += bytes;
+    requireInput(static_cast<bool>(out_),
+                 "store: write failed for " + quoted(tmp_path_));
+}
+
+void
+StoreWriter::finish()
+{
+    requireInput(!finished_, "store: finish() called twice");
+
+    const u64 toc_offset = roundUp<u64>(cursor_, kAlign);
+    static const char kZeros[kAlign] = {};
+    out_.write(kZeros,
+               static_cast<std::streamsize>(toc_offset - cursor_));
+    out_.write(reinterpret_cast<const char*>(toc_.data()),
+               static_cast<std::streamsize>(toc_.size() *
+                                            sizeof(TocEntry)));
+
+    StoreHeader header{};
+    header.magic = kMagic;
+    header.version = kFormatVersion;
+    header.endian = kEndianTag;
+    header.section_count = static_cast<u32>(toc_.size());
+    header.toc_offset = toc_offset;
+    header.toc_bytes = toc_.size() * sizeof(TocEntry);
+    header.toc_digest = xxhash64(toc_.data(), header.toc_bytes);
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out_.close();
+    requireInput(!out_.fail(),
+                 "store: write failed for " + quoted(tmp_path_));
+
+    requireInput(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
+                 "store: cannot rename " + quoted(tmp_path_) + " to " +
+                     quoted(path_));
+    finished_ = true;
+}
+
+// ---------------------------------------------------------------------
+// StoreReader
+
+StoreReader
+StoreReader::open(const std::string& path, ReadMode mode)
+{
+    StoreReader reader;
+    reader.path_ = path;
+    reader.mode_ = ReadMode::kStream;
+
+#if GB_STORE_HAVE_MMAP
+    if (mode == ReadMode::kMmap) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        requireInput(fd >= 0, "store: cannot open " + quoted(path));
+        struct stat st;
+        if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+            ::close(fd);
+            throw InputError("store: cannot stat " + quoted(path));
+        }
+        void* base = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                            PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        requireInput(base != MAP_FAILED,
+                     "store: mmap failed for " + quoted(path));
+        reader.map_base_ = static_cast<const u8*>(base);
+        reader.map_bytes_ = static_cast<u64>(st.st_size);
+        reader.file_bytes_ = reader.map_bytes_;
+        reader.mode_ = ReadMode::kMmap;
+    }
+#else
+    (void)mode;
+#endif
+
+    if (reader.mode_ == ReadMode::kStream) {
+        reader.in_.open(path, std::ios::binary);
+        requireInput(reader.in_.is_open(),
+                     "store: cannot open " + quoted(path));
+        reader.in_.seekg(0, std::ios::end);
+        reader.file_bytes_ = static_cast<u64>(reader.in_.tellg());
+        reader.in_.seekg(0);
+    }
+
+    // Header.
+    requireInput(reader.file_bytes_ >= sizeof(StoreHeader),
+                 "store: " + quoted(path) + " is truncated (no header)");
+    StoreHeader header;
+    if (reader.mode_ == ReadMode::kMmap) {
+        std::memcpy(&header, reader.map_base_, sizeof(header));
+    } else {
+        reader.in_.read(reinterpret_cast<char*>(&header),
+                        sizeof(header));
+        requireInput(static_cast<bool>(reader.in_),
+                     "store: " + quoted(path) + " is truncated");
+    }
+    requireInput(header.magic == kMagic,
+                 "store: " + quoted(path) +
+                     " is not a gb::store container (bad magic)");
+    requireInput(header.endian == kEndianTag,
+                 "store: " + quoted(path) +
+                     " was written on a different-endian machine");
+    requireInput(header.version == kFormatVersion,
+                 "store: " + quoted(path) + " has format version " +
+                     std::to_string(header.version) +
+                     "; this build reads version " +
+                     std::to_string(kFormatVersion));
+    requireInput(header.toc_bytes ==
+                     u64{header.section_count} * sizeof(TocEntry),
+                 "store: " + quoted(path) + " has an inconsistent TOC");
+    requireInput(header.toc_offset >= sizeof(StoreHeader) &&
+                     header.toc_offset % kAlign == 0 &&
+                     header.toc_offset + header.toc_bytes <=
+                         reader.file_bytes_,
+                 "store: " + quoted(path) +
+                     " is truncated (TOC out of bounds)");
+    reader.version_ = header.version;
+
+    // TOC.
+    reader.toc_.resize(header.section_count);
+    if (reader.mode_ == ReadMode::kMmap) {
+        std::memcpy(reader.toc_.data(),
+                    reader.map_base_ + header.toc_offset,
+                    header.toc_bytes);
+    } else {
+        reader.in_.seekg(static_cast<std::streamoff>(header.toc_offset));
+        reader.in_.read(reinterpret_cast<char*>(reader.toc_.data()),
+                        static_cast<std::streamsize>(header.toc_bytes));
+        requireInput(static_cast<bool>(reader.in_),
+                     "store: " + quoted(path) + " is truncated (TOC)");
+    }
+    requireInput(xxhash64(reader.toc_.data(), header.toc_bytes) ==
+                     header.toc_digest,
+                 "store: " + quoted(path) +
+                     " TOC checksum mismatch (file corrupt)");
+    for (const TocEntry& e : reader.toc_) {
+        requireInput(e.name[0] != '\0' &&
+                         std::memchr(e.name, '\0', sizeof(e.name)) !=
+                             nullptr,
+                     "store: " + quoted(path) +
+                         " has a malformed section name");
+        requireInput(e.offset % kAlign == 0 &&
+                         e.offset >= sizeof(StoreHeader) &&
+                         e.offset + e.size <= header.toc_offset,
+                     "store: " + quoted(path) + " section " +
+                         quoted(e.name) + " out of bounds");
+    }
+    return reader;
+}
+
+StoreReader::~StoreReader()
+{
+#if GB_STORE_HAVE_MMAP
+    if (map_base_ != nullptr) {
+        ::munmap(const_cast<u8*>(map_base_), map_bytes_);
+    }
+#endif
+}
+
+StoreReader::StoreReader(StoreReader&& other) noexcept
+{
+    *this = std::move(other);
+}
+
+StoreReader&
+StoreReader::operator=(StoreReader&& other) noexcept
+{
+    if (this == &other) return *this;
+#if GB_STORE_HAVE_MMAP
+    if (map_base_ != nullptr) {
+        ::munmap(const_cast<u8*>(map_base_), map_bytes_);
+    }
+#endif
+    path_ = std::move(other.path_);
+    mode_ = other.mode_;
+    file_bytes_ = other.file_bytes_;
+    version_ = other.version_;
+    toc_ = std::move(other.toc_);
+    map_base_ = other.map_base_;
+    map_bytes_ = other.map_bytes_;
+    in_ = std::move(other.in_);
+    cache_ = std::move(other.cache_);
+    other.map_base_ = nullptr;
+    other.map_bytes_ = 0;
+    return *this;
+}
+
+const TocEntry&
+StoreReader::entry(std::string_view name) const
+{
+    for (const TocEntry& e : toc_) {
+        if (name == e.name) return e;
+    }
+    throw InputError("store: " + quoted(path_) + " has no section " +
+                     quoted(name));
+}
+
+bool
+StoreReader::has(std::string_view name) const
+{
+    return std::any_of(toc_.begin(), toc_.end(),
+                       [&](const TocEntry& e) { return name == e.name; });
+}
+
+std::span<const u8>
+StoreReader::section(std::string_view name)
+{
+    const TocEntry& e = entry(name);
+    if (mode_ == ReadMode::kMmap) {
+        return {map_base_ + e.offset, e.size};
+    }
+    auto it = cache_.find(name);
+    if (it == cache_.end()) {
+        std::vector<u8> buf(e.size);
+        in_.clear();
+        in_.seekg(static_cast<std::streamoff>(e.offset));
+        in_.read(reinterpret_cast<char*>(buf.data()),
+                 static_cast<std::streamsize>(e.size));
+        requireInput(static_cast<bool>(in_),
+                     "store: " + quoted(path_) +
+                         " is truncated (section " + quoted(name) + ")");
+        it = cache_.emplace(std::string(name), std::move(buf)).first;
+    }
+    return {it->second.data(), it->second.size()};
+}
+
+void
+StoreReader::verifySection(std::string_view name)
+{
+    const TocEntry& e = entry(name);
+    const auto bytes = section(name);
+    requireInput(xxhash64(bytes.data(), bytes.size()) == e.digest,
+                 "store: " + quoted(path_) + " section " + quoted(name) +
+                     " checksum mismatch (file corrupt)");
+}
+
+void
+StoreReader::verifyAll()
+{
+    for (const TocEntry& e : toc_) verifySection(e.name);
+}
+
+} // namespace gb::store

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Non-cryptographic hashing shared by the store subsystem.
+ *
+ * xxHash64 (Collet, BSD-licensed algorithm, re-implemented here from
+ * the specification) is used both as the per-section integrity digest
+ * of gb::store containers and as the cache-key mixer that folds
+ * dataset parameters (RNG seeds, sizes, format versions) into a
+ * filename-sized fingerprint. It is not cryptographic: it protects
+ * against corruption and stale parameters, not against adversaries.
+ */
+#ifndef GB_UTIL_HASH_H
+#define GB_UTIL_HASH_H
+
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+#include "util/common.h"
+
+namespace gb {
+
+namespace detail {
+
+inline u64
+rotl64(u64 x, int r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+inline u64
+readLe64(const u8* p)
+{
+    u64 v;
+    std::memcpy(&v, p, 8);
+    return v; // assumes little-endian host; checked by store header
+}
+
+inline u32
+readLe32(const u8* p)
+{
+    u32 v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+} // namespace detail
+
+/** xxHash64 of `len` bytes at `data`. */
+inline u64
+xxhash64(const void* data, size_t len, u64 seed = 0)
+{
+    constexpr u64 kP1 = 0x9e3779b185ebca87ULL;
+    constexpr u64 kP2 = 0xc2b2ae3d27d4eb4fULL;
+    constexpr u64 kP3 = 0x165667b19e3779f9ULL;
+    constexpr u64 kP4 = 0x85ebca77c2b2ae63ULL;
+    constexpr u64 kP5 = 0x27d4eb2f165667c5ULL;
+
+    const u8* p = static_cast<const u8*>(data);
+    const u8* const end = p + len;
+    u64 h;
+
+    if (len >= 32) {
+        u64 v1 = seed + kP1 + kP2;
+        u64 v2 = seed + kP2;
+        u64 v3 = seed;
+        u64 v4 = seed - kP1;
+        const auto round = [](u64 acc, u64 input) {
+            return detail::rotl64(acc + input * kP2, 31) * kP1;
+        };
+        do {
+            v1 = round(v1, detail::readLe64(p));
+            v2 = round(v2, detail::readLe64(p + 8));
+            v3 = round(v3, detail::readLe64(p + 16));
+            v4 = round(v4, detail::readLe64(p + 24));
+            p += 32;
+        } while (p + 32 <= end);
+        h = detail::rotl64(v1, 1) + detail::rotl64(v2, 7) +
+            detail::rotl64(v3, 12) + detail::rotl64(v4, 18);
+        const auto mergeRound = [&round](u64 acc, u64 v) {
+            return (acc ^ round(0, v)) * kP1 + kP4;
+        };
+        h = mergeRound(h, v1);
+        h = mergeRound(h, v2);
+        h = mergeRound(h, v3);
+        h = mergeRound(h, v4);
+    } else {
+        h = seed + kP5;
+    }
+
+    h += static_cast<u64>(len);
+    while (p + 8 <= end) {
+        const u64 k =
+            detail::rotl64(detail::readLe64(p) * kP2, 31) * kP1;
+        h = detail::rotl64(h ^ k, 27) * kP1 + kP4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<u64>(detail::readLe32(p)) * kP1;
+        h = detail::rotl64(h, 23) * kP2 + kP3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<u64>(*p) * kP5;
+        h = detail::rotl64(h, 11) * kP1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kP2;
+    h ^= h >> 29;
+    h *= kP3;
+    h ^= h >> 32;
+    return h;
+}
+
+/**
+ * Incremental mixer for cache keys: fold values in one at a time.
+ * Order-sensitive (mix(a).mix(b) != mix(b).mix(a)) so parameter
+ * tuples with swapped fields do not collide.
+ */
+class KeyMixer
+{
+  public:
+    explicit KeyMixer(u64 seed = 0) : state_(seed) {}
+
+    template <typename T>
+        requires std::is_integral_v<T> || std::is_enum_v<T>
+    KeyMixer&
+    mix(T value)
+    {
+        const u64 v = static_cast<u64>(value);
+        state_ = xxhash64(&v, sizeof(v), state_);
+        return *this;
+    }
+
+    KeyMixer&
+    mix(std::string_view text)
+    {
+        state_ = xxhash64(text.data(), text.size(), state_);
+        return mix(text.size()); // length-prefix: "ab","c" != "a","bc"
+    }
+
+    KeyMixer&
+    mix(double value)
+    {
+        u64 bits;
+        std::memcpy(&bits, &value, sizeof(bits));
+        return mix(bits);
+    }
+
+    u64 value() const { return state_; }
+
+  private:
+    u64 state_;
+};
+
+} // namespace gb
+
+#endif // GB_UTIL_HASH_H

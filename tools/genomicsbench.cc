@@ -5,19 +5,32 @@
  *   genomicsbench list
  *   genomicsbench info <kernel>
  *   genomicsbench run <kernel> [--size=S] [--threads=N] [--repeat=R]
- *   genomicsbench characterize <kernel> [--size=S]
+ *                    [--cache-dir=DIR]
+ *   genomicsbench characterize <kernel> [--size=S] [--cache-dir=DIR]
+ *   genomicsbench store build [--cache-dir=DIR] [--size=S]
+ *                    [--kernels=a,b,c]
+ *   genomicsbench store inspect <file.gbs>
+ *   genomicsbench store verify <file.gbs>... | --cache-dir=DIR
  *
  * `run` times the kernel (wall clock, tasks/s); `characterize` prints
  * the operation mix, cache behaviour and top-down attribution for one
  * kernel — the per-kernel view of what the bench_* binaries sweep.
+ * The `store` subcommands manage the gb::store artifact cache that
+ * --cache-dir consults (see docs/store-format.md).
  */
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "arch/cache_sim.h"
 #include "arch/topdown.h"
 #include "core/benchmark.h"
+#include "store/cache.h"
+#include "store/container.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -33,9 +46,14 @@ usage()
            "  genomicsbench list\n"
            "  genomicsbench info <kernel>\n"
            "  genomicsbench run <kernel> [--size=tiny|small|large]"
-           " [--threads=N] [--repeat=R]\n"
+           " [--threads=N] [--repeat=R] [--cache-dir=DIR]\n"
            "  genomicsbench characterize <kernel>"
-           " [--size=tiny|small|large]\n";
+           " [--size=tiny|small|large] [--cache-dir=DIR]\n"
+           "  genomicsbench store build [--cache-dir=DIR]"
+           " [--size=S] [--kernels=a,b,c]\n"
+           "  genomicsbench store inspect <file.gbs>\n"
+           "  genomicsbench store verify <file.gbs>... |"
+           " --cache-dir=DIR\n";
     return 2;
 }
 
@@ -91,7 +109,15 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     WallTimer prep_timer;
     kernel->prepare(size);
     std::cout << "prepared in " << formatF(prep_timer.seconds(), 2)
-              << " s\n";
+              << " s";
+    const auto& cache = store::globalCache();
+    if (cache.enabled()) {
+        std::cout << " (artifact cache: " << cache.hits() << " hit"
+                  << (cache.hits() == 1 ? "" : "s") << ", "
+                  << cache.misses() << " miss"
+                  << (cache.misses() == 1 ? "" : "es") << ")";
+    }
+    std::cout << '\n';
 
     ThreadPool pool(threads);
     double best = 1e300;
@@ -172,6 +198,96 @@ cmdCharacterize(const std::string& name, DatasetSize size)
     return 0;
 }
 
+/**
+ * `store build`: run prepare() for the selected kernels with the
+ * cache enabled, so every cache-aware artifact is materialized.
+ */
+int
+cmdStoreBuild(const std::vector<std::string>& kernels, DatasetSize size)
+{
+    auto& cache = store::globalCache();
+    if (!cache.enabled()) {
+        std::cerr << "error: store build requires --cache-dir=DIR\n";
+        return 2;
+    }
+    const std::vector<std::string> names =
+        kernels.empty() ? kernelNames() : kernels;
+    for (const auto& name : names) {
+        auto kernel = createKernel(name);
+        WallTimer timer;
+        kernel->prepare(size);
+        std::cout << name << ": prepared in "
+                  << formatF(timer.seconds(), 2) << " s\n";
+    }
+    std::cout << "cache " << cache.dir() << ": " << cache.hits()
+              << " hits, " << cache.misses() << " misses\n";
+    return 0;
+}
+
+/** `store inspect`: print the header and per-section TOC of a file. */
+int
+cmdStoreInspect(const std::string& path)
+{
+    auto reader = store::StoreReader::open(path, store::ReadMode::kStream);
+    std::cout << "file:           " << path << '\n'
+              << "format version: " << reader.formatVersion() << '\n'
+              << "file bytes:     " << reader.fileBytes() << '\n'
+              << "sections:       " << reader.sections().size() << "\n\n";
+    Table table("Sections");
+    table.setHeader({"name", "offset", "bytes", "xxhash64"});
+    for (const auto& entry : reader.sections()) {
+        std::ostringstream digest;
+        digest << std::hex << entry.digest;
+        table.newRow()
+            .cell(entry.name)
+            .cell(std::to_string(entry.offset))
+            .cell(std::to_string(entry.size))
+            .cell(digest.str());
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+/**
+ * `store verify`: recompute every section digest of the given files
+ * (or of all .gbs files under --cache-dir). Exit 1 if any fail.
+ */
+int
+cmdStoreVerify(std::vector<std::string> paths)
+{
+    const auto& cache = store::globalCache();
+    if (paths.empty() && cache.enabled()) {
+        for (const auto& entry :
+             std::filesystem::directory_iterator(cache.dir())) {
+            if (entry.path().extension() == ".gbs") {
+                paths.push_back(entry.path().string());
+            }
+        }
+        std::sort(paths.begin(), paths.end());
+    }
+    if (paths.empty()) {
+        std::cerr << "error: store verify needs <file.gbs>... or "
+                     "--cache-dir=DIR\n";
+        return 2;
+    }
+    int failures = 0;
+    for (const auto& path : paths) {
+        try {
+            auto reader =
+                store::StoreReader::open(path,
+                                         store::ReadMode::kStream);
+            reader.verifyAll();
+            std::cout << path << ": OK ("
+                      << reader.sections().size() << " sections, "
+                      << reader.fileBytes() << " bytes)\n";
+        } catch (const std::exception& e) {
+            std::cout << path << ": FAILED — " << e.what() << '\n';
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -182,12 +298,15 @@ main(int argc, char** argv)
     try {
         if (command == "list") return cmdList();
         if (argc < 3) return usage();
-        const std::string kernel = argv[2];
 
+        // Shared flag parsing for the remaining commands; positional
+        // arguments (kernel name, store file paths) are collected.
         DatasetSize size = DatasetSize::kSmall;
         unsigned threads = 0;
         unsigned repeat = 3;
-        for (int i = 3; i < argc; ++i) {
+        std::vector<std::string> kernels;
+        std::vector<std::string> positional;
+        for (int i = 2; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg.rfind("--size=", 0) == 0) {
                 size = parseSize(arg.substr(7));
@@ -197,11 +316,39 @@ main(int argc, char** argv)
             } else if (arg.rfind("--repeat=", 0) == 0) {
                 repeat = static_cast<unsigned>(
                     std::stoul(arg.substr(9)));
-            } else {
+            } else if (arg.rfind("--cache-dir=", 0) == 0) {
+                store::setCacheDir(arg.substr(12));
+            } else if (arg.rfind("--kernels=", 0) == 0) {
+                std::istringstream list(arg.substr(10));
+                std::string name;
+                while (std::getline(list, name, ',')) {
+                    if (!name.empty()) kernels.push_back(name);
+                }
+            } else if (arg.rfind("--", 0) == 0) {
+                std::cerr << "error: unknown option: " << arg << '\n';
                 return usage();
+            } else {
+                positional.push_back(arg);
             }
         }
 
+        if (command == "store") {
+            if (positional.empty()) return usage();
+            const std::string sub = positional.front();
+            positional.erase(positional.begin());
+            if (sub == "build") return cmdStoreBuild(kernels, size);
+            if (sub == "inspect") {
+                if (positional.size() != 1) return usage();
+                return cmdStoreInspect(positional.front());
+            }
+            if (sub == "verify") {
+                return cmdStoreVerify(std::move(positional));
+            }
+            return usage();
+        }
+
+        if (positional.size() != 1) return usage();
+        const std::string kernel = positional.front();
         if (command == "info") return cmdInfo(kernel);
         if (command == "run") {
             return cmdRun(kernel, size, threads, repeat);
