@@ -4,12 +4,22 @@
  * entry per suite kernel on the small dataset, single-threaded, plus a
  * 4-thread variant. This is the suite's "runtime" view complementing
  * the per-table characterization binaries.
+ *
+ * Kernels with a real SIMD engine (bsw, phmm) get one timed entry per
+ * engine so the measured scalar-vs-SIMD speedup sits next to the
+ * modeled cell-update ratio from bench_fig3. `--engine=scalar|simd`
+ * restricts registration to one engine (default: both), e.g.
+ *
+ *   bench_kernels --engine=simd --benchmark_filter=bsw
  */
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "core/benchmark.h"
+#include "simd/simd.h"
 
 namespace {
 
@@ -17,10 +27,11 @@ using namespace gb;
 
 void
 runKernel(benchmark::State& state, const std::string& name,
-          unsigned threads)
+          unsigned threads, Engine engine)
 {
     auto kernel = createKernel(name);
     kernel->prepare(DatasetSize::kTiny);
+    kernel->setEngine(engine);
     ThreadPool pool(threads);
     u64 tasks = 0;
     for (auto _ : state) {
@@ -31,24 +42,71 @@ runKernel(benchmark::State& state, const std::string& name,
                             state.iterations());
 }
 
+/** Kernels that have a real gb::simd execution engine. */
+bool
+hasSimdEngine(const std::string& name)
+{
+    return name == "bsw" || name == "phmm";
+}
+
+void
+registerOne(const std::string& name, unsigned threads, Engine engine,
+            bool suffix_engine)
+{
+    std::string label = name + "/threads:" + std::to_string(threads);
+    if (suffix_engine) {
+        label += std::string("/engine:") + engineName(engine);
+    }
+    benchmark::RegisterBenchmark(
+        label.c_str(),
+        [name, threads, engine](benchmark::State& state) {
+            runKernel(state, name, threads, engine);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.2);
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     using namespace gb;
+    // Pre-parse and strip --engine; everything else goes to
+    // google-benchmark (--benchmark_filter etc.).
+    bool want_scalar = true;
+    bool want_simd = true;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+            const Engine engine = parseEngine(argv[i] + 9);
+            want_scalar = engine == Engine::kScalar;
+            want_simd = engine == Engine::kSimd;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+
+    const bool both = want_scalar && want_simd;
     for (const auto& name : kernelNames()) {
         for (unsigned threads : {1u, 4u}) {
-            benchmark::RegisterBenchmark(
-                (name + "/threads:" + std::to_string(threads)).c_str(),
-                [name, threads](benchmark::State& state) {
-                    runKernel(state, name, threads);
-                })
-                ->Unit(benchmark::kMillisecond)
-                ->MinTime(0.2);
+            if (!hasSimdEngine(name)) {
+                registerOne(name, threads, Engine::kScalar, false);
+                continue;
+            }
+            if (want_scalar) {
+                registerOne(name, threads, Engine::kScalar, both);
+            }
+            if (want_simd) {
+                registerOne(name, threads, Engine::kSimd, both);
+            }
         }
     }
     benchmark::Initialize(&argc, argv);
+    benchmark::AddCustomContext(
+        "gb_simd_level",
+        simd::simdLevelName(simd::activeSimdLevel()));
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

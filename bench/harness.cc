@@ -15,7 +15,7 @@ namespace {
 /** Flags every bench binary understands (name only, sans value). */
 constexpr const char* kKnownFlags[] = {"--size", "--threads",
                                        "--kernels", "--cache-dir",
-                                       "--help"};
+                                       "--engine", "--help"};
 
 /** Levenshtein distance, small-string use only. */
 u64
@@ -106,10 +106,12 @@ Options::parseStrict(int argc, char** argv, DatasetSize default_size)
             opt.cache_dir = value("--cache-dir=");
             requireInput(!opt.cache_dir.empty(),
                          "--cache-dir expects a directory path");
+        } else if (arg.rfind("--engine=", 0) == 0) {
+            opt.engine = parseEngine(value("--engine="));
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "options: --size=tiny|small|large "
                          "--threads=N --kernels=a,b,c "
-                         "--cache-dir=DIR\n";
+                         "--engine=scalar|simd --cache-dir=DIR\n";
             std::exit(0);
         } else {
             throw InputError(unknownOption(arg));
@@ -169,7 +171,8 @@ printHeader(const std::string& experiment, const std::string& paper_ref,
               << "\n### dataset: " << sizeName(options.size)
               << ", threads: "
               << (options.threads ? std::to_string(options.threads)
-                                  : std::string("auto"));
+                                  : std::string("auto"))
+              << ", engine: " << engineName(options.engine);
     if (!options.cache_dir.empty()) {
         std::cout << ", artifact cache: " << options.cache_dir;
     }

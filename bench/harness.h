@@ -6,6 +6,9 @@
  *   --size=tiny|small|large   dataset preset (default per binary)
  *   --threads=N               worker threads for timed runs
  *   --kernels=a,b,c           restrict to a kernel subset
+ *   --engine=scalar|simd      execution engine for timed runs (simd
+ *                             applies to kernels with a real SIMD
+ *                             engine: bsw, phmm; see docs/simd.md)
  *   --cache-dir=DIR           build-or-load prepared artifacts from a
  *                             gb::store cache (see docs/store-format.md)
  *
@@ -34,6 +37,7 @@ struct Options
     unsigned threads = 0; ///< 0 = hardware concurrency
     std::vector<std::string> kernels; ///< empty = all
     std::string cache_dir; ///< empty = artifact caching disabled
+    Engine engine = Engine::kScalar; ///< timed-run execution engine
 
     /**
      * Parse argv; on any bad option prints a clear error (with a

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, the gb::store test suite
-# under ASan/UBSan, and an end-to-end artifact-cache smoke test
-# (store build -> store verify -> warm bench run + corruption and
-# bad-flag rejection checks).
+# Full pre-merge check: tier-1 build + tests, the SIMD equivalence
+# suite at every dispatch level (GB_SIMD_LEVEL=scalar|sse4|avx2), the
+# gb::store and gb::simd test suites under ASan/UBSan, and an
+# end-to-end artifact-cache smoke test (store build -> store verify ->
+# warm bench run + corruption and bad-flag rejection checks).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -23,15 +24,30 @@ cmake --build build -j"$JOBS"
 step "tier-1: ctest"
 (cd build && ctest --output-on-failure -j"$JOBS")
 
+# ------------------------------------------------- SIMD dispatch levels
+# The equivalence property test re-runs under every GB_SIMD_LEVEL so a
+# host with AVX2 still exercises the SSE4 and scalar dispatch paths
+# (the env override clamps to what the CPU supports, so this is safe
+# on any machine).
+step "gb::simd: equivalence at every dispatch level"
+for level in scalar sse4 avx2; do
+    echo "-- GB_SIMD_LEVEL=$level"
+    GB_SIMD_LEVEL=$level ./build/tests/test_simd
+done
+
 # ------------------------------------------------------- sanitizer build
 if [[ $SKIP_SAN -eq 0 ]]; then
-    step "ASan/UBSan: build + run store tests"
+    step "ASan/UBSan: build + run store + simd tests"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
         >/dev/null
-    cmake --build build-asan -j"$JOBS" --target test_store
+    cmake --build build-asan -j"$JOBS" --target test_store test_simd
     ./build-asan/tests/test_store
+    for level in scalar sse4 avx2; do
+        GB_SIMD_LEVEL=$level ./build-asan/tests/test_simd \
+            --gtest_brief=1
+    done
 fi
 
 # ------------------------------------------------------ cache smoke test

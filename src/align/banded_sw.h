@@ -124,8 +124,6 @@ bandedSwScalar(std::span<const u8> query, std::span<const u8> target,
         for (i32 j = jlo; j <= jhi; ++j) {
             const i32 b = j - i - dmin;
             probe.load(&target[j - 1], 1);
-            // Diagonal predecessor H(i-1, j-1) has offset b (same
-            // diagonal), vertical H(i-1, j) has offset b+1.
             // Diagonal predecessor H(i-1, j-1) shares the diagonal
             // offset b; vertical predecessor H(i-1, j) sits at b+1.
             const i32 h_diag =

@@ -29,6 +29,25 @@ enum class DatasetSize : u8
 };
 
 /**
+ * Execution engine for timed runs. kScalar is the portable
+ * probe-compatible implementation every kernel has; kSimd swaps in a
+ * real vectorized engine (gb::simd, runtime-dispatched) where one
+ * exists — currently bsw and phmm. Kernels without a SIMD engine run
+ * scalar under either setting.
+ */
+enum class Engine : u8
+{
+    kScalar,
+    kSimd,
+};
+
+/** Parse "scalar"/"simd"; throws InputError otherwise. */
+Engine parseEngine(const std::string& name);
+
+/** Display name of an engine. */
+const char* engineName(Engine engine);
+
+/**
  * One suite kernel.
  *
  * Lifecycle: construct -> prepare(size) -> run()/taskWork()/
@@ -54,6 +73,12 @@ class Benchmark
 
     virtual const Info& info() const = 0;
 
+    /** Select the engine for subsequent run() calls. */
+    void setEngine(Engine engine) { engine_ = engine; }
+
+    /** Engine used by run(); characterize() is always scalar. */
+    Engine engine() const { return engine_; }
+
     /** Generate the dataset for `size` (deterministic). */
     virtual void prepare(DatasetSize size) = 0;
 
@@ -76,6 +101,9 @@ class Benchmark
      * Table III). Tasks are the unit of dynamic scheduling.
      */
     virtual std::vector<u64> taskWork() = 0;
+
+  private:
+    Engine engine_ = Engine::kScalar;
 };
 
 /** Names of all 12 kernels, pipeline order. */

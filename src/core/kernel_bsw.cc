@@ -10,6 +10,7 @@
 
 #include "align/banded_sw.h"
 #include "io/dna.h"
+#include "simd/bsw_engine.h"
 #include "simdata/genome.h"
 #include "util/rng.h"
 
@@ -108,6 +109,7 @@ class BswKernel final : public Benchmark
     u64
     run(ThreadPool& pool) override
     {
+        const bool simd = engine() == Engine::kSimd;
         const BatchSwAligner aligner{params_};
         const u64 batches = ceilDiv<u64>(pairs_.size(),
                                          BatchSwAligner::kLanes);
@@ -115,10 +117,14 @@ class BswKernel final : public Benchmark
             const size_t begin = b * BatchSwAligner::kLanes;
             const size_t count = std::min<size_t>(
                 BatchSwAligner::kLanes, pairs_.size() - begin);
-            NullProbe probe;
-            aligner.align(
-                std::span<const SwPair>(pairs_).subspan(begin, count),
-                probe);
+            const auto batch =
+                std::span<const SwPair>(pairs_).subspan(begin, count);
+            if (simd) {
+                simd::bswAlign(batch, params_);
+            } else {
+                NullProbe probe;
+                aligner.align(batch, probe);
+            }
         });
         return pairs_.size();
     }

@@ -171,7 +171,12 @@ forwardScaled(std::span<const u8> read, std::span<const u8> quals,
 
 } // namespace detail
 
-/** Float-path scale (GATK uses 2^120 for its float kernel). */
+/**
+ * Float-path scale: 2^100. GATK's float kernel scales by 2^120; we
+ * keep 20 extra bits of overflow headroom (float max is ~2^128) for
+ * the long synthetic haplotypes, at the cost of slightly earlier
+ * underflow — which the double fallback already covers.
+ */
 inline constexpr double kFloatInitialScale = 0x1p100;
 /** Double-path scale. */
 inline constexpr double kDoubleInitialScale = 0x1p600;

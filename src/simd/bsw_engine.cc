@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dispatch layer for the SIMD banded-SW engine: picks the widest
+ * kernel the CPU (and GB_SIMD_LEVEL) allows, batches pairs lane-wide,
+ * and routes anything the 16-bit lanes cannot represent exactly
+ * (overlong sequences, global mode) to the scalar kernel so results
+ * are always bit-identical to bandedSwScalar().
+ */
+#include "simd/bsw_engine.h"
+
+#include <algorithm>
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd {
+
+namespace {
+
+using BatchFn = void (*)(const SwPair*, u32, const SwParams&, SwResult*,
+                         BatchSwStats*);
+
+/** Scalar "batch": one bandedSwScalar() call per lane. */
+void
+bswBatchScalar(const SwPair* pairs, u32 count, const SwParams& p,
+               SwResult* out, BatchSwStats* stats)
+{
+    for (u32 l = 0; l < count; ++l) {
+        NullProbe probe;
+        out[l] = bandedSwScalar(pairs[l].query, pairs[l].target, p,
+                                probe);
+        if (stats) {
+            // One lane per slot: no lockstep overwork.
+            stats->vector_slots += out[l].cell_updates;
+            stats->useful_cells += out[l].cell_updates;
+        }
+    }
+}
+
+struct Engine
+{
+    BatchFn fn;
+    u32 lanes;
+};
+
+/** Function-pointer table indexed by SimdLevel. */
+Engine
+engineFor(SimdLevel level)
+{
+    switch (level) {
+#if GB_SIMD_HAVE_X86
+      case SimdLevel::kAvx2: return {detail::bswBatchAvx2, 16};
+      case SimdLevel::kSse4: return {detail::bswBatchSse4, 8};
+#else
+      case SimdLevel::kAvx2:
+      case SimdLevel::kSse4:
+#endif
+      case SimdLevel::kScalar: break;
+    }
+    return {bswBatchScalar, 1};
+}
+
+bool
+simdRepresentable(const SwPair& pair)
+{
+    return pair.query.size() <= static_cast<size_t>(kBswMaxSimdLen) &&
+           pair.target.size() <= static_cast<size_t>(kBswMaxSimdLen);
+}
+
+} // namespace
+
+u32
+bswLanes(SimdLevel level)
+{
+    return engineFor(level).lanes;
+}
+
+std::vector<SwResult>
+bswAlign(std::span<const SwPair> pairs, const SwParams& params,
+         BatchSwStats* stats)
+{
+    const Engine engine = engineFor(activeSimdLevel());
+    std::vector<SwResult> results(pairs.size());
+    BatchSwStats local;
+    local.lanes = engine.lanes;
+
+    for (size_t base = 0; base < pairs.size(); base += engine.lanes) {
+        const u32 count = static_cast<u32>(
+            std::min<size_t>(engine.lanes, pairs.size() - base));
+        const SwPair* group = pairs.data() + base;
+        const bool simd_ok =
+            params.local &&
+            std::all_of(group, group + count, simdRepresentable);
+        (simd_ok ? engine.fn : bswBatchScalar)(
+            group, count, params, &results[base],
+            stats ? &local : nullptr);
+    }
+    if (stats) *stats = local;
+    return results;
+}
+
+} // namespace gb::simd

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Real inter-sequence SIMD banded Smith-Waterman (the bsw engine).
+ *
+ * Executes the BWA-MEM2 scheme that BatchSwAligner only *models*: up to
+ * 16 query/target pairs advance in lockstep through the banded affine
+ * recurrence, one pair per 16-bit vector lane, with an SoA batch layout
+ * (sequences and DP rows interleaved lane-wise), saturating-add score
+ * clamping and per-lane z-drop masking. Per pair, the score, end
+ * position and abort flag are bit-identical to bandedSwScalar().
+ *
+ * Dispatch: AVX2 (16 lanes) / SSE4.2 (8 lanes) / portable scalar
+ * fallback, chosen by gb::simd::activeSimdLevel(). Pairs that the
+ * 16-bit representation cannot hold exactly (sequences longer than
+ * kBswMaxSimdLen) and non-local (global) alignments fall back to the
+ * scalar path per batch, so results never depend on the level.
+ */
+#ifndef GB_SIMD_BSW_ENGINE_H
+#define GB_SIMD_BSW_ENGINE_H
+
+#include <span>
+#include <vector>
+
+#include "align/banded_sw.h"
+#include "simd/simd.h"
+
+namespace gb::simd {
+
+/**
+ * Longest sequence the 16-bit lanes handle exactly: scores are bounded
+ * by 2 * min(m, n), which must stay clear of the i16 saturation point
+ * (and of the -30000 "minus infinity" floor climbing back into range).
+ */
+inline constexpr i32 kBswMaxSimdLen = 16000;
+
+/** Vector lanes at a dispatch level (16 / 8 / 1). */
+u32 bswLanes(SimdLevel level);
+
+/**
+ * Align all pairs with the active SIMD engine; results in input order
+ * and per-pair identical to bandedSwScalar().
+ *
+ * @param[out] stats Optional lockstep work accounting (same meaning as
+ *                   BatchSwAligner: slots executed x lanes vs useful
+ *                   cells). Lanes reflect the dispatched level.
+ */
+std::vector<SwResult> bswAlign(std::span<const SwPair> pairs,
+                               const SwParams& params,
+                               BatchSwStats* stats = nullptr);
+
+} // namespace gb::simd
+
+#endif // GB_SIMD_BSW_ENGINE_H

@@ -1,0 +1,5 @@
+// AVX2 instantiation of the lockstep banded-SW kernel (16 x i16
+// lanes, the BWA-MEM2 configuration). Compiled with -mavx2; only ever
+// called after runtime CPUID dispatch confirms support.
+#define GB_SIMD_TARGET_AVX2 1
+#include "simd/bsw_engine_impl.h"

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Width-generic lockstep banded-SW kernel, instantiated once per ISA.
+ *
+ * Included by bsw_engine_sse4.cc / bsw_engine_avx2.cc with the
+ * matching GB_SIMD_TARGET_* macro defined; vec.h supplies the vector
+ * primitives and lane count. The algorithm mirrors bandedSwScalar()
+ * cell for cell — same band geometry, same update order, same z-drop
+ * bookkeeping — so each lane's score/end/abort results are
+ * bit-identical to the scalar kernel (see docs/simd.md for the
+ * equivalence argument, including why the -30000 i16 "minus infinity"
+ * floor is safe in local mode).
+ *
+ * Layout: everything is SoA with lane stride W. Sequences are
+ * transposed into per-row byte groups (qbuf[(i-1)*W + l]), the three
+ * DP arrays hold (slot, lane) i16 values. Within a row, the diagonal
+ * band offset b and column j = b + dmin + i are UNIFORM across lanes
+ * (dmin = -band_width is lane-independent); only the validity mask
+ * (j <= min(n_l, i + dmax_l), lane still running) differs, so the
+ * whole inner loop is branch-free vector code.
+ */
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "simd/engines_internal.h"
+#include "simd/vec.h"
+
+#if defined(GB_SIMD_TARGET_AVX2)
+#define GB_BSW_KERNEL bswBatchAvx2
+#elif defined(GB_SIMD_TARGET_SSE4)
+#define GB_BSW_KERNEL bswBatchSse4
+#endif
+
+namespace gb::simd::detail {
+
+void
+GB_BSW_KERNEL(const SwPair* pairs, u32 count, const SwParams& p,
+              SwResult* out, BatchSwStats* stats)
+{
+    constexpr u32 W = kI16Lanes;
+    constexpr i16 kNegInf16 = -30000;
+    constexpr i32 kNegInf32 = -(1 << 29);
+
+    // Per-lane geometry (lanes >= count are permanently masked).
+    i32 m[W] = {}, n[W] = {}, dmax[W] = {};
+    bool done[W];
+    i32 stop_row[W] = {};
+    const i32 dmin = -p.band_width;
+    i32 max_m = 0, max_n = 0, max_width = 0;
+    for (u32 l = 0; l < W; ++l) {
+        done[l] = true;
+        if (l >= count) continue;
+        m[l] = static_cast<i32>(pairs[l].query.size());
+        n[l] = static_cast<i32>(pairs[l].target.size());
+        dmax[l] = p.band_width + std::max(0, n[l] - m[l]);
+        done[l] = false;
+        max_m = std::max(max_m, m[l]);
+        max_n = std::max(max_n, n[l]);
+        max_width = std::max(max_width, dmax[l] - dmin + 1);
+    }
+
+    // Lane-transposed sequences; 0xFF pads never match (code >= 4).
+    std::vector<u8> qbuf(static_cast<size_t>(max_m) * W, 0xFF);
+    std::vector<u8> tbuf(static_cast<size_t>(max_n) * W, 0xFF);
+    for (u32 l = 0; l < count; ++l) {
+        for (i32 i = 0; i < m[l]; ++i) {
+            qbuf[static_cast<size_t>(i) * W + l] = pairs[l].query[i];
+        }
+        for (i32 j = 0; j < n[l]; ++j) {
+            tbuf[static_cast<size_t>(j) * W + l] = pairs[l].target[j];
+        }
+    }
+
+    // DP rows: slots 0..max_width+1 (writes hit 1..max_width, reads
+    // may touch the kNegInf guard slots on either side).
+    const size_t slots = static_cast<size_t>(max_width) + 2;
+    std::vector<i16> h_prev(slots * W, kNegInf16);
+    std::vector<i16> h_curr(slots * W, kNegInf16);
+    std::vector<i16> e_col(slots * W, kNegInf16);
+
+    // Row 0: H(0, j) = 0 inside the band (local mode).
+    for (i32 b = 0; b < max_width; ++b) {
+        const i32 j = b + dmin;
+        for (u32 l = 0; l < count; ++l) {
+            if (b < dmax[l] - dmin + 1 && j >= 0 && j <= n[l]) {
+                h_prev[(static_cast<size_t>(b) + 1) * W + l] = 0;
+            }
+        }
+    }
+
+    const VecI16 zero_v = vSet1I16(0);
+    const VecI16 neginf_v = vSet1I16(kNegInf16);
+    const VecI16 four_v = vSet1I16(4);
+    const VecI16 match_v = vSet1I16(static_cast<i16>(p.match));
+    const VecI16 mismatch_v = vSet1I16(static_cast<i16>(p.mismatch));
+    const VecI16 ext_v = vSet1I16(static_cast<i16>(p.gap_extend));
+    const VecI16 goe_v =
+        vSet1I16(static_cast<i16>(p.gap_open + p.gap_extend));
+
+    VecI16 best_v = zero_v;
+    VecI16 qend_v = zero_v;
+    VecI16 tend_v = zero_v;
+
+    alignas(32) i16 lane16[W];
+    alignas(32) i16 jmax16[W];
+    alignas(32) i16 rowbest16[W];
+    alignas(32) i16 best16[W];
+
+    u64 vec_slots = 0;
+    u64 useful = 0;
+
+    i16* hp = h_prev.data();
+    i16* hc = h_curr.data();
+    i16* ec = e_col.data();
+
+    for (i32 i = 1; i <= max_m; ++i) {
+        bool any = false;
+        i32 row_jhi = 0;
+        for (u32 l = 0; l < W; ++l) {
+            const bool active = !done[l] && i <= m[l];
+            lane16[l] = active ? -1 : 0;
+            const i32 jm = active ? std::min(n[l], i + dmax[l]) : 0;
+            jmax16[l] = static_cast<i16>(jm);
+            if (active) {
+                any = true;
+                row_jhi = std::max(row_jhi, jm);
+            }
+        }
+        if (!any) break;
+
+        const VecI16 active_v = vLoadI16(lane16);
+        const i32 jlo = std::max(1, i + dmin);
+        const VecI16 qvec =
+            vLoadBytesI16(qbuf.data() + static_cast<size_t>(i - 1) * W);
+        // F entering from column 0: H(i,0)=0 (local) minus open+extend.
+        VecI16 f = jlo == 1
+                       ? vSet1I16(static_cast<i16>(
+                             -(p.gap_open + p.gap_extend)))
+                       : neginf_v;
+        VecI16 row_best_v = neginf_v;
+
+        for (i32 j = jlo; j <= row_jhi; ++j) {
+            const size_t b = static_cast<size_t>(j - i - dmin);
+            const VecI16 maskv = vAndI16(
+                active_v,
+                vCmpGtI16(vLoadI16(jmax16),
+                          vSet1I16(static_cast<i16>(j - 1))));
+            const u32 bits = vMaskBitsI16(maskv);
+            if (bits == 0) break; // masks only shrink as j grows
+
+            const VecI16 tvec = vLoadBytesI16(
+                tbuf.data() + static_cast<size_t>(j - 1) * W);
+            const VecI16 eqv =
+                vAndI16(vCmpEqI16(qvec, tvec), vCmpGtI16(four_v, qvec));
+            const VecI16 subv = vSelectI16(eqv, match_v, mismatch_v);
+
+            // H(0->) boundary: H(i-1, 0) = 0 in local mode.
+            const VecI16 h_diag =
+                j == 1 ? zero_v : vLoadI16(hp + b * W + W);
+            const VecI16 h_up = vLoadI16(hp + b * W + 2 * W);
+            const VecI16 e =
+                vMaxI16(vSubsI16(vLoadI16(ec + b * W + 2 * W), ext_v),
+                        vSubsI16(h_up, goe_v));
+            VecI16 h = vAddsI16(h_diag, subv);
+            h = vMaxI16(h, e);
+            h = vMaxI16(h, f);
+            h = vMaxI16(h, zero_v);
+
+            const VecI16 h_st = vSelectI16(maskv, h, neginf_v);
+            const VecI16 e_st = vSelectI16(maskv, e, neginf_v);
+            vStoreI16(hc + b * W + W, h_st);
+            vStoreI16(ec + b * W + W, e_st);
+
+            const VecI16 f_new =
+                vMaxI16(vSubsI16(f, ext_v), vSubsI16(h, goe_v));
+            f = vSelectI16(maskv, f_new, f);
+
+            row_best_v = vMaxI16(row_best_v, h_st);
+            const VecI16 gt = vCmpGtI16(h_st, best_v);
+            best_v = vMaxI16(best_v, h_st);
+            qend_v = vSelectI16(gt, vSet1I16(static_cast<i16>(i)),
+                                qend_v);
+            tend_v = vSelectI16(gt, vSet1I16(static_cast<i16>(j)),
+                                tend_v);
+
+            ++vec_slots;
+            useful += static_cast<u32>(__builtin_popcount(bits)) / 2;
+        }
+
+        // Per-lane z-drop / completion, in the scalar kernel's i32
+        // arithmetic (an empty row counts as row_best = -inf).
+        vStoreI16(rowbest16, row_best_v);
+        vStoreI16(best16, best_v);
+        for (u32 l = 0; l < W; ++l) {
+            if (done[l] || i > m[l]) continue;
+            const i32 rb = jlo <= jmax16[l]
+                               ? static_cast<i32>(rowbest16[l])
+                               : kNegInf32;
+            if (rb < static_cast<i32>(best16[l]) - p.zdrop) {
+                out[l].aborted = true;
+                done[l] = true;
+                stop_row[l] = i;
+            } else if (i == m[l]) {
+                done[l] = true;
+                stop_row[l] = i;
+            }
+        }
+
+        std::swap(hp, hc);
+        std::fill_n(hc, slots * W, kNegInf16);
+    }
+
+    alignas(32) i16 qend16[W];
+    alignas(32) i16 tend16[W];
+    vStoreI16(best16, best_v);
+    vStoreI16(qend16, qend_v);
+    vStoreI16(tend16, tend_v);
+    for (u32 l = 0; l < count; ++l) {
+        if (m[l] == 0 || n[l] == 0) continue; // SwResult default
+        out[l].score = best16[l];
+        out[l].query_end = qend16[l];
+        out[l].target_end = tend16[l];
+        u64 cells = 0;
+        for (i32 i = 1; i <= stop_row[l]; ++i) {
+            const i32 lo = std::max(1, i + dmin);
+            const i32 hi = std::min(n[l], i + dmax[l]);
+            if (hi >= lo) cells += static_cast<u64>(hi - lo + 1);
+        }
+        out[l].cell_updates = cells;
+    }
+    if (stats) {
+        stats->vector_slots += vec_slots;
+        stats->useful_cells += useful;
+    }
+}
+
+} // namespace gb::simd::detail
+
+#undef GB_BSW_KERNEL

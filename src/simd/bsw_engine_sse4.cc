@@ -1,0 +1,5 @@
+// SSE4.2 instantiation of the lockstep banded-SW kernel (8 x i16
+// lanes). Compiled with -msse4.2; only ever called after runtime
+// CPUID dispatch confirms support.
+#define GB_SIMD_TARGET_SSE4 1
+#include "simd/bsw_engine_impl.h"

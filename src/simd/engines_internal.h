@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Internal per-ISA entry points shared between the dispatch tables
+ * (bsw_engine.cc / phmm_engine.cc) and the ISA translation units
+ * (*_sse4.cc / *_avx2.cc, which define them via the *_impl.h
+ * templates). Not part of the public gb::simd API.
+ */
+#ifndef GB_SIMD_ENGINES_INTERNAL_H
+#define GB_SIMD_ENGINES_INTERNAL_H
+
+#include "align/banded_sw.h"
+#include "util/common.h"
+
+namespace gb::simd::detail {
+
+/**
+ * One lockstep batch of at most kI16Lanes pairs. Preconditions
+ * (checked by the dispatcher): params.local, every sequence length in
+ * (0, kBswMaxSimdLen], count <= lane width. Accumulates vector_slots /
+ * useful_cells into `stats` when non-null.
+ */
+void bswBatchSse4(const SwPair* pairs, u32 count, const SwParams& params,
+                  SwResult* out, BatchSwStats* stats);
+void bswBatchAvx2(const SwPair* pairs, u32 count, const SwParams& params,
+                  SwResult* out, BatchSwStats* stats);
+
+/** Inputs for one anti-diagonal float PairHMM forward pass. */
+struct PhmmF32Input
+{
+    const u8* read;     ///< m codes, padded with >=8 bytes of 0xFF
+    const u8* hap_rev;  ///< reversed haplotype, >=8 pad bytes EACH side
+    const float* prior_match;    ///< per-row 1 - err, padded >= 8
+    const float* prior_mismatch; ///< per-row err / 3, padded >= 8
+    u32 m = 0;
+    u32 n = 0;
+    float t_mm = 0; ///< match -> match
+    float t_mi = 0; ///< match -> insertion
+    float t_md = 0; ///< match -> deletion
+    float t_im = 0; ///< insertion/deletion -> match
+    float t_ii = 0; ///< gap continuation
+    float init = 0; ///< initial_scale / n (row-0 deletion mass)
+};
+
+/**
+ * Scaled forward sum at float precision, anti-diagonal wavefront,
+ * kF32Lanes cells per step. Per-cell arithmetic matches the scalar
+ * forwardScaled<float> expression.
+ */
+float phmmForwardSse4(const PhmmF32Input& in);
+float phmmForwardAvx2(const PhmmF32Input& in);
+
+} // namespace gb::simd::detail
+
+#endif // GB_SIMD_ENGINES_INTERNAL_H

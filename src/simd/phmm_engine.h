@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Real SIMD PairHMM forward pass (the phmm engine).
+ *
+ * Executes the GATK GKL scheme that the instrumented kernel only
+ * *models*: the float forward pass sweeps anti-diagonals of the
+ * (read x haplotype) DP matrix, kF32Lanes cells per vector step —
+ * along an anti-diagonal the three state recurrences have no
+ * loop-carried dependency, which is exactly why GKL vectorizes this
+ * way. The FTZ/DAZ guard stays on around the float pass, and results
+ * that underflow fall back to the scalar double-precision pass, so
+ * the engine preserves pairHmmLogLikelihood()'s execution strategy
+ * and matches its log10 likelihoods to within float accumulation
+ * error (<= 1e-5 in the equivalence tests).
+ *
+ * Dispatch: AVX2 (8 float lanes) / SSE4.2 (4) / the existing scalar
+ * kernel, chosen by gb::simd::activeSimdLevel().
+ */
+#ifndef GB_SIMD_PHMM_ENGINE_H
+#define GB_SIMD_PHMM_ENGINE_H
+
+#include <span>
+
+#include "phmm/pairhmm.h"
+#include "simd/simd.h"
+
+namespace gb::simd {
+
+/** Float lanes at a dispatch level (8 / 4 / 1). */
+u32 phmmLanes(SimdLevel level);
+
+/**
+ * Likelihood of `read` given `haplotype` via the active SIMD engine:
+ * vectorized float first, scalar double on underflow.
+ */
+PhmmResult phmmLogLikelihood(std::span<const u8> read,
+                             std::span<const u8> quals,
+                             std::span<const u8> haplotype,
+                             const PhmmParams& params);
+
+} // namespace gb::simd
+
+#endif // GB_SIMD_PHMM_ENGINE_H

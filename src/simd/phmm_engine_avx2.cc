@@ -1,0 +1,5 @@
+// AVX2 instantiation of the anti-diagonal PairHMM kernel (8 x f32
+// lanes, the GATK GKL configuration). Compiled with -mavx2; called
+// only after runtime dispatch.
+#define GB_SIMD_TARGET_AVX2 1
+#include "simd/phmm_engine_impl.h"

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Width-generic anti-diagonal PairHMM float kernel, instantiated once
+ * per ISA (see vec.h for the inclusion protocol).
+ *
+ * Storage is diagonal-major: buffer slot i on diagonal d is cell
+ * (i, d - i), so all three recurrences become elementwise vector ops
+ * with +/-1 slot shifts against the previous two diagonals:
+ *
+ *   M(i,j) <- prev2[i-1]   I(i,j) <- prev1[i-1]   D(i,j) <- prev1[i]
+ *
+ * The haplotype is consumed through a reversed copy so that, along a
+ * diagonal, both sequence reads are ascending contiguous byte loads.
+ * Vector chunks overrun the valid lane range [ilo, ihi] by up to
+ * W - 1 slots; those slots hold garbage, but the boundary writes
+ * after the chunk loop repair the two slots (i = 0 and i = d) that
+ * later diagonals can legitimately read, and every other garbage slot
+ * is provably outside all subsequent valid reads (docs/simd.md).
+ * Per-cell arithmetic is the same expression as forwardScaled<float>.
+ */
+#include <algorithm>
+#include <vector>
+
+#include "simd/engines_internal.h"
+#include "simd/vec.h"
+
+#if defined(GB_SIMD_TARGET_AVX2)
+#define GB_PHMM_KERNEL phmmForwardAvx2
+#elif defined(GB_SIMD_TARGET_SSE4)
+#define GB_PHMM_KERNEL phmmForwardSse4
+#endif
+
+namespace gb::simd::detail {
+
+float
+GB_PHMM_KERNEL(const PhmmF32Input& in)
+{
+    constexpr u32 W = kF32Lanes;
+    const i32 m = static_cast<i32>(in.m);
+    const i32 n = static_cast<i32>(in.n);
+
+    // Nine diagonal buffers (3 states x prev2/prev1/cur), slot i in
+    // 0..m plus W slots of chunk-overrun headroom, zero-initialised.
+    const size_t len = static_cast<size_t>(m) + 1 + W;
+    std::vector<float> storage(9 * len, 0.0f);
+    float* mv[3]; // [0]=prev2, [1]=prev1, [2]=cur
+    float* iv[3];
+    float* dv[3];
+    for (int k = 0; k < 3; ++k) {
+        mv[k] = storage.data() + static_cast<size_t>(k) * len;
+        iv[k] = storage.data() + static_cast<size_t>(3 + k) * len;
+        dv[k] = storage.data() + static_cast<size_t>(6 + k) * len;
+    }
+    // Diagonal 0 is cell (0, 0): row-0 deletion mass carries init.
+    dv[1][0] = in.init;
+
+    const VecF32 mm_v = vSet1F32(in.t_mm);
+    const VecF32 mi_v = vSet1F32(in.t_mi);
+    const VecF32 md_v = vSet1F32(in.t_md);
+    const VecF32 im_v = vSet1F32(in.t_im);
+    const VecF32 ii_v = vSet1F32(in.t_ii);
+
+    float sum = 0.0f;
+    for (i32 d = 1; d <= m + n; ++d) {
+        const i32 ilo = std::max(1, d - n);
+        const i32 ihi = std::min(m, d - 1);
+        float* cm = mv[2];
+        float* ci = iv[2];
+        float* cd = dv[2];
+
+        for (i32 i0 = ilo; i0 <= ihi; i0 += static_cast<i32>(W)) {
+            const VecF32 mp2 = vLoadF32(mv[0] + i0 - 1);
+            const VecF32 ip2 = vLoadF32(iv[0] + i0 - 1);
+            const VecF32 dp2 = vLoadF32(dv[0] + i0 - 1);
+            const VecF32 mp1_up = vLoadF32(mv[1] + i0 - 1);
+            const VecF32 ip1_up = vLoadF32(iv[1] + i0 - 1);
+            const VecF32 mp1_left = vLoadF32(mv[1] + i0);
+            const VecF32 dp1_left = vLoadF32(dv[1] + i0);
+
+            const VecF32 match = vByteMatchMaskF32(
+                in.read + i0 - 1, in.hap_rev + (n - d + i0));
+            const VecF32 prior =
+                vSelectF32(match, vLoadF32(in.prior_match + i0 - 1),
+                           vLoadF32(in.prior_mismatch + i0 - 1));
+
+            const VecF32 m_cur = vMulF32(
+                prior, vAddF32(vMulF32(mp2, mm_v),
+                               vMulF32(vAddF32(ip2, dp2), im_v)));
+            const VecF32 i_cur = vAddF32(vMulF32(mp1_up, mi_v),
+                                         vMulF32(ip1_up, ii_v));
+            const VecF32 d_cur = vAddF32(vMulF32(mp1_left, md_v),
+                                         vMulF32(dp1_left, ii_v));
+            vStoreF32(cm + i0, m_cur);
+            vStoreF32(ci + i0, i_cur);
+            vStoreF32(cd + i0, d_cur);
+        }
+
+        // Boundary cells (also repair any chunk overrun on slot d).
+        if (d <= n) {
+            cm[0] = 0.0f;
+            ci[0] = 0.0f;
+            cd[0] = in.init; // row-0 free start along the haplotype
+        }
+        if (d <= m) {
+            cm[d] = 0.0f; // column 0: scalar's m/i/d_curr[0] = 0
+            ci[d] = 0.0f;
+            cd[d] = 0.0f;
+        }
+
+        // Final-row cell of this diagonal: same j-ascending
+        // accumulation order as the scalar epilogue.
+        if (d > m) sum += cm[m] + ci[m];
+
+        float* const tm = mv[0];
+        float* const ti = iv[0];
+        float* const td = dv[0];
+        mv[0] = mv[1]; mv[1] = mv[2]; mv[2] = tm;
+        iv[0] = iv[1]; iv[1] = iv[2]; iv[2] = ti;
+        dv[0] = dv[1]; dv[1] = dv[2]; dv[2] = td;
+    }
+    return sum;
+}
+
+} // namespace gb::simd::detail
+
+#undef GB_PHMM_KERNEL

@@ -1,0 +1,4 @@
+// SSE4.2 instantiation of the anti-diagonal PairHMM kernel (4 x f32
+// lanes). Compiled with -msse4.2; called only after runtime dispatch.
+#define GB_SIMD_TARGET_SSE4 1
+#include "simd/phmm_engine_impl.h"

@@ -1,0 +1,93 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace gb::simd {
+
+namespace {
+
+SimdLevel
+clamp(SimdLevel request)
+{
+    const SimdLevel best = detectSimdLevel();
+    return request <= best ? request : best;
+}
+
+/** Level requested via env at startup (evaluated once). */
+SimdLevel
+envDefault()
+{
+    if (const char* env = std::getenv("GB_SIMD_LEVEL")) {
+        if (const auto parsed = parseSimdLevel(env)) {
+            return clamp(*parsed);
+        }
+    }
+    return detectSimdLevel();
+}
+
+std::atomic<SimdLevel>&
+activeSlot()
+{
+    static std::atomic<SimdLevel> active{envDefault()};
+    return active;
+}
+
+} // namespace
+
+const char*
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::kScalar: return "scalar";
+      case SimdLevel::kSse4: return "sse4";
+      case SimdLevel::kAvx2: return "avx2";
+    }
+    return "?";
+}
+
+std::optional<SimdLevel>
+parseSimdLevel(const std::string& name)
+{
+    if (name == "scalar") return SimdLevel::kScalar;
+    if (name == "sse4" || name == "sse4.2" || name == "sse42") {
+        return SimdLevel::kSse4;
+    }
+    if (name == "avx2") return SimdLevel::kAvx2;
+    return std::nullopt;
+}
+
+SimdLevel
+detectSimdLevel()
+{
+#if GB_SIMD_HAVE_X86
+    static const SimdLevel detected = [] {
+        if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+        if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse4;
+        return SimdLevel::kScalar;
+    }();
+    return detected;
+#else
+    return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    return activeSlot().load(std::memory_order_relaxed);
+}
+
+void
+setSimdLevel(SimdLevel level)
+{
+    activeSlot().store(clamp(level), std::memory_order_relaxed);
+}
+
+void
+resetSimdLevel()
+{
+    activeSlot().store(envDefault(), std::memory_order_relaxed);
+}
+
+} // namespace gb::simd

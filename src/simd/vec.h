@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Fixed-width vector primitives for the gb::simd engine templates.
+ *
+ * This header is multi-included: each engine translation unit defines
+ * exactly one of GB_SIMD_TARGET_SSE4 / GB_SIMD_TARGET_AVX2 before
+ * including an *_impl.h header, which pulls this in to get a uniform
+ * set of types and inline functions over that instruction set:
+ *
+ *   VecI16          kI16Lanes x signed 16-bit lanes (saturating ops)
+ *   VecF32          kF32Lanes x single-precision lanes
+ *
+ * The engine templates are written once against this API; the per-ISA
+ * .cc files are compiled with the matching -m flags (see
+ * src/simd/CMakeLists.txt) and exported under ISA-suffixed names that
+ * the dispatch tables in bsw_engine.cc / phmm_engine.cc select at
+ * runtime. There is no scalar instantiation of this header — the
+ * scalar fallback is the pre-existing portable kernel itself.
+ */
+#ifndef GB_SIMD_TARGET_SSE4
+#ifndef GB_SIMD_TARGET_AVX2
+#error "vec.h requires GB_SIMD_TARGET_SSE4 or GB_SIMD_TARGET_AVX2"
+#endif
+#endif
+
+#include <immintrin.h>
+
+#include "util/common.h"
+
+namespace gb::simd {
+
+#if defined(GB_SIMD_TARGET_AVX2)
+
+inline constexpr u32 kI16Lanes = 16;
+inline constexpr u32 kF32Lanes = 8;
+
+using VecI16 = __m256i;
+using VecF32 = __m256;
+
+// ---- 16-bit integer lanes -------------------------------------------
+inline VecI16 vSet1I16(i16 x) { return _mm256_set1_epi16(x); }
+inline VecI16 vLoadI16(const i16* p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void vStoreI16(i16* p, VecI16 v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+/** Widen kI16Lanes unsigned bytes to 16-bit lanes. */
+inline VecI16 vLoadBytesI16(const u8* p)
+{
+    return _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+inline VecI16 vAddsI16(VecI16 a, VecI16 b)
+{
+    return _mm256_adds_epi16(a, b);
+}
+inline VecI16 vSubsI16(VecI16 a, VecI16 b)
+{
+    return _mm256_subs_epi16(a, b);
+}
+inline VecI16 vMaxI16(VecI16 a, VecI16 b)
+{
+    return _mm256_max_epi16(a, b);
+}
+inline VecI16 vCmpEqI16(VecI16 a, VecI16 b)
+{
+    return _mm256_cmpeq_epi16(a, b);
+}
+inline VecI16 vCmpGtI16(VecI16 a, VecI16 b)
+{
+    return _mm256_cmpgt_epi16(a, b);
+}
+inline VecI16 vAndI16(VecI16 a, VecI16 b)
+{
+    return _mm256_and_si256(a, b);
+}
+/** Per-lane select: mask lanes all-ones -> a, zero -> b. */
+inline VecI16 vSelectI16(VecI16 mask, VecI16 a, VecI16 b)
+{
+    return _mm256_blendv_epi8(b, a, mask);
+}
+/** Two mask bits per 16-bit lane (movemask over bytes). */
+inline u32 vMaskBitsI16(VecI16 mask)
+{
+    return static_cast<u32>(_mm256_movemask_epi8(mask));
+}
+
+// ---- float lanes ----------------------------------------------------
+inline VecF32 vSet1F32(float x) { return _mm256_set1_ps(x); }
+inline VecF32 vLoadF32(const float* p) { return _mm256_loadu_ps(p); }
+inline void vStoreF32(float* p, VecF32 v) { _mm256_storeu_ps(p, v); }
+inline VecF32 vAddF32(VecF32 a, VecF32 b)
+{
+    return _mm256_add_ps(a, b);
+}
+inline VecF32 vMulF32(VecF32 a, VecF32 b)
+{
+    return _mm256_mul_ps(a, b);
+}
+inline VecF32 vSelectF32(VecF32 mask, VecF32 a, VecF32 b)
+{
+    return _mm256_blendv_ps(b, a, mask);
+}
+/** Per-f32-lane all-ones mask where bytes a[i] == b[i] && a[i] < 4. */
+inline VecF32 vByteMatchMaskF32(const u8* a, const u8* b)
+{
+    const __m256i av = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a)));
+    const __m256i bv = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b)));
+    const __m256i eq = _mm256_cmpeq_epi32(av, bv);
+    const __m256i lt =
+        _mm256_cmpgt_epi32(_mm256_set1_epi32(4), av);
+    return _mm256_castsi256_ps(_mm256_and_si256(eq, lt));
+}
+
+#elif defined(GB_SIMD_TARGET_SSE4)
+
+inline constexpr u32 kI16Lanes = 8;
+inline constexpr u32 kF32Lanes = 4;
+
+using VecI16 = __m128i;
+using VecF32 = __m128;
+
+// ---- 16-bit integer lanes -------------------------------------------
+inline VecI16 vSet1I16(i16 x) { return _mm_set1_epi16(x); }
+inline VecI16 vLoadI16(const i16* p)
+{
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline void vStoreI16(i16* p, VecI16 v)
+{
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+inline VecI16 vLoadBytesI16(const u8* p)
+{
+    return _mm_cvtepu8_epi16(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+inline VecI16 vAddsI16(VecI16 a, VecI16 b)
+{
+    return _mm_adds_epi16(a, b);
+}
+inline VecI16 vSubsI16(VecI16 a, VecI16 b)
+{
+    return _mm_subs_epi16(a, b);
+}
+inline VecI16 vMaxI16(VecI16 a, VecI16 b)
+{
+    return _mm_max_epi16(a, b);
+}
+inline VecI16 vCmpEqI16(VecI16 a, VecI16 b)
+{
+    return _mm_cmpeq_epi16(a, b);
+}
+inline VecI16 vCmpGtI16(VecI16 a, VecI16 b)
+{
+    return _mm_cmpgt_epi16(a, b);
+}
+inline VecI16 vAndI16(VecI16 a, VecI16 b)
+{
+    return _mm_and_si128(a, b);
+}
+inline VecI16 vSelectI16(VecI16 mask, VecI16 a, VecI16 b)
+{
+    return _mm_blendv_epi8(b, a, mask);
+}
+inline u32 vMaskBitsI16(VecI16 mask)
+{
+    return static_cast<u32>(_mm_movemask_epi8(mask));
+}
+
+// ---- float lanes ----------------------------------------------------
+inline VecF32 vSet1F32(float x) { return _mm_set1_ps(x); }
+inline VecF32 vLoadF32(const float* p) { return _mm_loadu_ps(p); }
+inline void vStoreF32(float* p, VecF32 v) { _mm_storeu_ps(p, v); }
+inline VecF32 vAddF32(VecF32 a, VecF32 b) { return _mm_add_ps(a, b); }
+inline VecF32 vMulF32(VecF32 a, VecF32 b) { return _mm_mul_ps(a, b); }
+inline VecF32 vSelectF32(VecF32 mask, VecF32 a, VecF32 b)
+{
+    return _mm_blendv_ps(b, a, mask);
+}
+inline VecF32 vByteMatchMaskF32(const u8* a, const u8* b)
+{
+    u32 aw = 0;
+    u32 bw = 0;
+    __builtin_memcpy(&aw, a, 4);
+    __builtin_memcpy(&bw, b, 4);
+    const __m128i av =
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(aw)));
+    const __m128i bv =
+        _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(bw)));
+    const __m128i eq = _mm_cmpeq_epi32(av, bv);
+    const __m128i lt = _mm_cmplt_epi32(av, _mm_set1_epi32(4));
+    return _mm_castsi128_ps(_mm_and_si128(eq, lt));
+}
+
+#endif
+
+} // namespace gb::simd

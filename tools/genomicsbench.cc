@@ -46,7 +46,8 @@ usage()
            "  genomicsbench list\n"
            "  genomicsbench info <kernel>\n"
            "  genomicsbench run <kernel> [--size=tiny|small|large]"
-           " [--threads=N] [--repeat=R] [--cache-dir=DIR]\n"
+           " [--threads=N] [--repeat=R] [--engine=scalar|simd]"
+           " [--cache-dir=DIR]\n"
            "  genomicsbench characterize <kernel>"
            " [--size=tiny|small|large] [--cache-dir=DIR]\n"
            "  genomicsbench store build [--cache-dir=DIR]"
@@ -103,9 +104,10 @@ cmdInfo(const std::string& name)
 
 int
 cmdRun(const std::string& name, DatasetSize size, unsigned threads,
-       unsigned repeat)
+       unsigned repeat, Engine engine)
 {
     auto kernel = createKernel(name);
+    kernel->setEngine(engine);
     WallTimer prep_timer;
     kernel->prepare(size);
     std::cout << "prepared in " << formatF(prep_timer.seconds(), 2)
@@ -304,6 +306,7 @@ main(int argc, char** argv)
         DatasetSize size = DatasetSize::kSmall;
         unsigned threads = 0;
         unsigned repeat = 3;
+        Engine engine = Engine::kScalar;
         std::vector<std::string> kernels;
         std::vector<std::string> positional;
         for (int i = 2; i < argc; ++i) {
@@ -316,6 +319,8 @@ main(int argc, char** argv)
             } else if (arg.rfind("--repeat=", 0) == 0) {
                 repeat = static_cast<unsigned>(
                     std::stoul(arg.substr(9)));
+            } else if (arg.rfind("--engine=", 0) == 0) {
+                engine = parseEngine(arg.substr(9));
             } else if (arg.rfind("--cache-dir=", 0) == 0) {
                 store::setCacheDir(arg.substr(12));
             } else if (arg.rfind("--kernels=", 0) == 0) {
@@ -351,7 +356,7 @@ main(int argc, char** argv)
         const std::string kernel = positional.front();
         if (command == "info") return cmdInfo(kernel);
         if (command == "run") {
-            return cmdRun(kernel, size, threads, repeat);
+            return cmdRun(kernel, size, threads, repeat, engine);
         }
         if (command == "characterize") {
             return cmdCharacterize(kernel, size);
