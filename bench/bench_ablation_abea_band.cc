@@ -90,7 +90,7 @@ main(int argc, char** argv)
             .cell(std::to_string(close) + "/" +
                   std::to_string(reads.size()));
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nExpected: cells scale ~linearly with the band. "
                  "Because the band *adapts* (moves toward the higher-"
                  "scoring edge each step), even narrow bands track "

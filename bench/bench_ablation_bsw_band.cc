@@ -98,7 +98,7 @@ main(int argc, char** argv)
                 .cell(aborted);
         }
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nExpected: cells grow ~linearly with band width; "
                  "score fidelity saturates around the default band "
                  "(51); z-drop trims work without losing exact "

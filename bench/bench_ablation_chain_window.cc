@@ -79,7 +79,7 @@ main(int argc, char** argv)
             .cell(std::to_string(chained) + "/" +
                   std::to_string(num_pairs));
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nExpected: runtime grows with N; the best-chain "
                  "score saturates near the Minimap2 default (25), "
                  "which is why the tool caps the window.\n";

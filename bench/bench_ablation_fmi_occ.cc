@@ -64,7 +64,7 @@ main(int argc, char** argv)
             .cell(formatCount(probe.counts()[OpClass::kIntAlu]))
             .cell(formatCount(smems));
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nExpected: identical SMEM counts; scan work (int "
                  "ops) grows with spacing while the occ footprint "
                  "shrinks toward the raw BWT.\n";

@@ -75,7 +75,7 @@ main(int argc, char** argv)
                 .cellF(timer.seconds(), 3);
         }
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nExpected: mean displacement is similar, but "
                  "robin-hood sharply bounds the *maximum* probe "
                  "chain at high load — the worst-case lookup cost "

@@ -86,7 +86,7 @@ main(int argc, char** argv)
     for (u32 lookahead : {2u, 4u, 8u, 16u, 32u}) {
         report("prefetch", lookahead);
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nExpected: identical distinct counts; prefetching "
                  "recovers throughput once the lookahead covers the "
                  "DRAM latency (the gain depends on how far the table "

@@ -105,7 +105,7 @@ main(int argc, char** argv)
         .cellF(time_b, 3)
         .cell("-")
         .cellF(max_err, 6);
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nExpected: fallbacks are rare (the paper: phmm "
                  "\"resorts to double-precision only in rare "
                  "cases\") and float matches double to ~1e-3 log10 "

@@ -139,7 +139,7 @@ main(int argc, char** argv)
                    2)
             .cell(sorted ? "~2.2x" : "-");
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nShape check: ratio > 1 in both rows; sorting "
                  "shrinks but does not eliminate the overwork (early "
                  "exits and content-dependent aborts remain).\n";
@@ -193,7 +193,7 @@ main(int argc, char** argv)
         .cell(speedup.str())
         .cell(mismatches == 0 ? "identical" : "MISMATCH");
     std::cout << '\n';
-    timed.print(std::cout);
+    bench::report(timed);
     if (mismatches != 0) {
         std::cerr << "FAIL: " << mismatches
                   << " pairs differ between engines\n";

@@ -4,6 +4,12 @@
  * of the irregular benchmarks — mean, max, and the max/mean imbalance
  * ratio. The paper measures ratios of 4.1-8.3x across kernels with
  * phmm's tail reaching ~1000x (mean 5.2M vs max 4.41G cell updates).
+ *
+ * Beside the modeled task-work imbalance this prints a *measured*
+ * per-rank busy-time imbalance (max/mean busy seconds from the
+ * ThreadPool scheduler telemetry of a real run): dynamic scheduling
+ * should keep measured busy-time imbalance far below the task-work
+ * imbalance — that gap is the paper's argument for schedule(dynamic).
  */
 #include <iostream>
 
@@ -19,9 +25,15 @@ main(int argc, char** argv)
                                  " imbalance",
                        options);
 
+    // Telemetry needs >1 rank to say anything; default to 4 when the
+    // user did not pin a thread count.
+    const unsigned measure_threads =
+        options.threads ? options.threads : 4;
+    ThreadPool pool(measure_threads);
+
     Table table("Per-task data-parallel work");
     table.setHeader({"kernel", "work unit", "tasks", "mean", "p99",
-                     "max", "max/mean"});
+                     "max", "max/mean", "meas busy max/mean"});
     for (const auto& name : options.kernelList()) {
         auto kernel = createKernel(name);
         const auto& info = kernel->info();
@@ -35,6 +47,17 @@ main(int argc, char** argv)
             stats.add(static_cast<double>(w));
             samples.push_back(static_cast<double>(w));
         }
+
+        // Measured: run the kernel under dynamic scheduling and
+        // compare per-rank busy seconds.
+        kernel->setEngine(options.engine);
+        pool.resetTelemetry();
+        kernel->run(pool);
+        RunningStats busy;
+        for (const auto& rank : pool.telemetry()) {
+            busy.add(rank.busy_seconds);
+        }
+
         table.newRow()
             .cell(info.name)
             .cell(info.work_unit)
@@ -43,11 +66,16 @@ main(int argc, char** argv)
             .cell(formatCount(
                 static_cast<u64>(percentile(samples, 99.0))))
             .cell(formatCount(static_cast<u64>(stats.max())))
-            .cellF(stats.imbalance(), 1);
+            .cellF(stats.imbalance(), 1)
+            .cellF(busy.imbalance(), 2);
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nShape check: every irregular kernel shows "
                  "max/mean well above 1; phmm has the heaviest tail "
-                 "(paper: up to ~1000x on whole-chromosome input).\n";
+                 "(paper: up to ~1000x on whole-chromosome input). "
+                 "The measured busy-time column (ran with "
+              << measure_threads
+              << " ranks) stays near 1: dynamic scheduling absorbs "
+                 "the task-work imbalance.\n";
     return 0;
 }

@@ -39,7 +39,7 @@ main(int argc, char** argv)
             table.cellF(counts.fraction(c) * 100.0, 1);
         }
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nShape check: phmm is the only FP-significant CPU "
                  "kernel; phmm/bsw/spoa carry the vector share; fmi "
                  "is the most load-heavy.\n";

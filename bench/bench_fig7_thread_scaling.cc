@@ -82,23 +82,39 @@ main(int argc, char** argv)
 
     Table table("Speedup over 1 thread");
     table.setHeader({"kernel", "t=1 (s)", "x2", "x4", "x8",
-                     "sim x8 dyn", "sim x8 static"});
+                     "sim x8 dyn", "sim x8 static", "meas bal x8"});
     for (const auto& name : options.kernelList()) {
         auto kernel = createKernel(name);
         kernel->prepare(options.size);
 
         double base = 0.0;
+        double measured_balance = 0.0;
         table.newRow().cell(name);
         for (unsigned threads : {1u, 2u, 4u, 8u}) {
             ThreadPool pool(threads);
             // Warm-up run amortizes first-touch effects at t=1.
             if (threads == 1) bench::timeRun(*kernel, pool);
+            pool.resetTelemetry();
             const double seconds = bench::timeRun(*kernel, pool);
             if (threads == 1) {
                 base = seconds;
                 table.cellF(seconds, 3);
             } else {
                 table.cellF(base / seconds, 2);
+            }
+            if (threads == 8) {
+                // Measured load balance: effective parallelism from
+                // the scheduler telemetry, sum(busy)/max(busy) in
+                // [1, 8]. Unlike wall clock it is meaningful even on
+                // an oversubscribed host.
+                double busy_sum = 0.0;
+                double busy_max = 0.0;
+                for (const auto& rank : pool.telemetry()) {
+                    busy_sum += rank.busy_seconds;
+                    busy_max = std::max(busy_max, rank.busy_seconds);
+                }
+                measured_balance =
+                    busy_max > 0.0 ? busy_sum / busy_max : 0.0;
             }
         }
         // Host-independent load-balance simulation over the real
@@ -107,8 +123,9 @@ main(int argc, char** argv)
         const auto work = kernel->taskWork();
         table.cellF(scheduledSpeedup(work, 8, true), 2);
         table.cellF(scheduledSpeedup(work, 8, false), 2);
+        table.cellF(measured_balance, 2);
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout
         << "\nShape check: on multi-core hosts the wall-clock columns "
            "match the paper (bsw/dbg/phmm/spoa near-linear; kmer-cnt "
@@ -116,6 +133,8 @@ main(int argc, char** argv)
            "dynamic scheduling reaches ~8x even for the imbalanced "
            "kernels, while a static split collapses for the "
            "long-tailed ones (phmm, dbg) — exactly why the paper uses "
-           "OpenMP dynamic.\n";
+           "OpenMP dynamic. 'meas bal x8' is the measured analogue of "
+           "'sim x8 dyn': effective parallelism sum(busy)/max(busy) "
+           "from the t=8 scheduler telemetry.\n";
     return 0;
 }

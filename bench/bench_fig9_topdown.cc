@@ -42,7 +42,7 @@ main(int argc, char** argv)
             .cellF(result.backend_memory * 100.0, 1)
             .cellF(result.backend_core * 100.0, 1);
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nShape check: kmer-cnt then fmi are the most "
                  "memory-bound; grm retires the highest fraction; "
                  "bsw/phmm/chain split between retiring and "

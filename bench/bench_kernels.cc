@@ -11,26 +11,65 @@
  * restricts registration to one engine (default: both), e.g.
  *
  *   bench_kernels --engine=simd --benchmark_filter=bsw
+ *
+ * `--size=tiny|small|large` selects the dataset preset (default tiny)
+ * and `--json=FILE` mirrors every timed entry into a gb-metrics-v1
+ * JSON file (docs/metrics.md); all other flags go to google-benchmark.
  */
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/benchmark.h"
+#include "metrics/metrics_sink.h"
 #include "simd/simd.h"
 
 namespace {
 
 using namespace gb;
 
+DatasetSize g_size = DatasetSize::kTiny;
+
+metrics::MetricsSink&
+sink()
+{
+    static metrics::MetricsSink instance;
+    return instance;
+}
+
+/** Console output plus one metrics row per timed entry. */
+class SinkReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run& run : runs) {
+            if (run.error_occurred) continue;
+            auto row = sink().newRow("kernels");
+            row.str("name", run.benchmark_name())
+                .num("real_ms", run.GetAdjustedRealTime())
+                .num("cpu_ms", run.GetAdjustedCPUTime())
+                .count("iterations",
+                       static_cast<u64>(run.iterations));
+            for (const auto& [key, counter] : run.counters) {
+                row.num(key, counter.value);
+            }
+        }
+    }
+};
+
 void
 runKernel(benchmark::State& state, const std::string& name,
           unsigned threads, Engine engine)
 {
     auto kernel = createKernel(name);
-    kernel->prepare(DatasetSize::kTiny);
+    kernel->prepare(g_size);
     kernel->setEngine(engine);
     ThreadPool pool(threads);
     u64 tasks = 0;
@@ -72,21 +111,53 @@ int
 main(int argc, char** argv)
 {
     using namespace gb;
-    // Pre-parse and strip --engine; everything else goes to
-    // google-benchmark (--benchmark_filter etc.).
+    // Pre-parse and strip --engine/--size/--json; everything else
+    // goes to google-benchmark (--benchmark_filter etc.).
     bool want_scalar = true;
     bool want_simd = true;
+    std::string json_path;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--engine=", 9) == 0) {
             const Engine engine = parseEngine(argv[i] + 9);
             want_scalar = engine == Engine::kScalar;
             want_simd = engine == Engine::kSimd;
+        } else if (std::strncmp(argv[i], "--size=", 7) == 0) {
+            const std::string v = argv[i] + 7;
+            if (v == "tiny") {
+                g_size = DatasetSize::kTiny;
+            } else if (v == "small") {
+                g_size = DatasetSize::kSmall;
+            } else if (v == "large") {
+                g_size = DatasetSize::kLarge;
+            } else {
+                std::cerr << "error: unknown --size value: " << v
+                          << " (expected tiny, small or large)\n";
+                return 2;
+            }
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
+
+    if (!json_path.empty()) {
+        metrics::RunMeta meta;
+        meta.experiment = "bench_kernels";
+        meta.paper_ref = "per-kernel wall-clock microbenchmarks";
+        meta.size = g_size == DatasetSize::kTiny    ? "tiny"
+                    : g_size == DatasetSize::kSmall ? "small"
+                                                    : "large";
+        meta.threads = 0; // per-entry; encoded in each row's name
+        meta.engine = want_scalar == want_simd ? "both"
+                      : want_scalar            ? "scalar"
+                                               : "simd";
+        meta.simd_level =
+            simd::simdLevelName(simd::activeSimdLevel());
+        sink().open(json_path, std::move(meta));
+    }
 
     const bool both = want_scalar && want_simd;
     for (const auto& name : kernelNames()) {
@@ -107,7 +178,8 @@ main(int argc, char** argv)
     benchmark::AddCustomContext(
         "gb_simd_level",
         simd::simdLevelName(simd::activeSimdLevel()));
-    benchmark::RunSpecifiedBenchmarks();
+    SinkReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     return 0;
 }

@@ -67,8 +67,8 @@ main(int argc, char** argv)
         .cell(model.dram_banks)
         .cell("-");
 
-    host.print(std::cout);
+    bench::report(host);
     std::cout << '\n';
-    modeled.print(std::cout);
+    bench::report(modeled);
     return 0;
 }

@@ -33,6 +33,6 @@ main(int argc, char** argv)
             .cell(info.gpu ? "GPU" : "CPU")
             .cell(work.size());
     }
-    table.print(std::cout);
+    bench::report(table);
     return 0;
 }

@@ -39,7 +39,7 @@ main(int argc, char** argv)
             .cell(formatCount(static_cast<u64>(stats.mean())))
             .cell(formatCount(static_cast<u64>(stats.max())));
     }
-    table.print(std::cout);
+    bench::report(table);
     std::cout << "\nPaper shape check: every kernel above is "
                  "data-parallel at read/region granularity with "
                  "input-dependent per-task work.\n";

@@ -51,7 +51,7 @@ main(int argc, char** argv)
     row("SM utilization", abea.sm_utilization, nn.sm_utilization,
         "70.53", "99.83");
     row("Occupancy", abea.occupancy, nn.occupancy, "31.41", "88.47");
-    table.print(std::cout);
+    bench::report(table);
 
     std::cout << "\nShape check: nn-base must be the (near-)perfectly "
                  "regular kernel on every row; abea loses warp "

@@ -43,7 +43,7 @@ main(int argc, char** argv)
         .cellF(nn.globalStoreEfficiency() * 100.0, 2)
         .cell("68.5")
         .cell("100");
-    table.print(std::cout);
+    bench::report(table);
 
     std::cout << "\nShape check: abea's pore-model gathers and AoS "
                  "event/trace structures waste most of each 32 B "

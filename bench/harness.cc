@@ -6,6 +6,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "simd/simd.h"
 #include "store/cache.h"
 
 namespace gb::bench {
@@ -13,9 +14,20 @@ namespace gb::bench {
 namespace {
 
 /** Flags every bench binary understands (name only, sans value). */
-constexpr const char* kKnownFlags[] = {"--size", "--threads",
-                                       "--kernels", "--cache-dir",
-                                       "--engine", "--help"};
+const std::vector<std::string> kKnownFlags = {
+    "--size", "--threads", "--kernels", "--cache-dir",
+    "--engine", "--json", "--help"};
+
+constexpr const char* kUsage =
+    "usage: bench_* [options]\n"
+    "  --size=tiny|small|large  dataset preset\n"
+    "  --threads=N              worker threads for timed runs\n"
+    "  --kernels=a,b,c          restrict to a kernel subset\n"
+    "  --engine=scalar|simd     timed-run execution engine\n"
+    "  --cache-dir=DIR          gb::store artifact cache\n"
+    "  --json=FILE              write gb-metrics-v1 JSON "
+    "(docs/metrics.md)\n"
+    "  --help, -h               this text\n";
 
 /** Levenshtein distance, small-string use only. */
 u64
@@ -42,7 +54,7 @@ unknownOption(const std::string& arg)
     const std::string name = arg.substr(0, arg.find('='));
     std::string best;
     u64 best_dist = 3; // suggest only near misses
-    for (const char* flag : kKnownFlags) {
+    for (const std::string& flag : kKnownFlags) {
         const u64 dist = editDistance(name, flag);
         if (dist < best_dist) {
             best_dist = dist;
@@ -69,6 +81,18 @@ parseUnsigned(std::string_view flag, std::string_view text)
 }
 
 } // namespace
+
+const std::vector<std::string>&
+knownFlags()
+{
+    return kKnownFlags;
+}
+
+const char*
+usageText()
+{
+    return kUsage;
+}
 
 Options
 Options::parseStrict(int argc, char** argv, DatasetSize default_size)
@@ -108,11 +132,15 @@ Options::parseStrict(int argc, char** argv, DatasetSize default_size)
                          "--cache-dir expects a directory path");
         } else if (arg.rfind("--engine=", 0) == 0) {
             opt.engine = parseEngine(value("--engine="));
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opt.json_path = value("--json=");
+            requireInput(!opt.json_path.empty(),
+                         "--json expects a file path");
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "options: --size=tiny|small|large "
-                         "--threads=N --kernels=a,b,c "
-                         "--engine=scalar|simd --cache-dir=DIR\n";
-            std::exit(0);
+            // Help wins over everything after it; the caller decides
+            // what to print (parse() shows usageText() and exits 0).
+            opt.help = true;
+            return opt;
         } else {
             throw InputError(unknownOption(arg));
         }
@@ -125,6 +153,10 @@ Options::parse(int argc, char** argv, DatasetSize default_size)
 {
     try {
         const Options opt = parseStrict(argc, argv, default_size);
+        if (opt.help) {
+            std::cout << kUsage;
+            std::exit(0);
+        }
         if (!opt.cache_dir.empty()) {
             store::setCacheDir(opt.cache_dir);
         }
@@ -154,12 +186,37 @@ sizeName(DatasetSize size)
     return "?";
 }
 
+metrics::MetricsSink&
+metricsSink()
+{
+    static metrics::MetricsSink sink;
+    return sink;
+}
+
+RunSample
+timeRunSampled(Benchmark& kernel, ThreadPool& pool)
+{
+    RunSample sample;
+    metrics::PerfCounters counters;
+    WallTimer timer;
+    counters.start();
+    kernel.run(pool);
+    sample.perf = counters.stop();
+    sample.seconds = timer.seconds();
+    return sample;
+}
+
 double
 timeRun(Benchmark& kernel, ThreadPool& pool)
 {
-    WallTimer timer;
-    kernel.run(pool);
-    return timer.seconds();
+    return timeRunSampled(kernel, pool).seconds;
+}
+
+std::string
+orNA(double value, int precision)
+{
+    if (value < 0.0) return "n/a";
+    return formatF(value, precision);
 }
 
 void
@@ -176,7 +233,28 @@ printHeader(const std::string& experiment, const std::string& paper_ref,
     if (!options.cache_dir.empty()) {
         std::cout << ", artifact cache: " << options.cache_dir;
     }
+    if (!options.json_path.empty()) {
+        std::cout << ", json: " << options.json_path;
+        if (!metricsSink().enabled()) {
+            metrics::RunMeta meta;
+            meta.experiment = experiment;
+            meta.paper_ref = paper_ref;
+            meta.size = sizeName(options.size);
+            meta.threads = options.threads;
+            meta.engine = engineName(options.engine);
+            meta.simd_level =
+                simd::simdLevelName(simd::activeSimdLevel());
+            metricsSink().open(options.json_path, std::move(meta));
+        }
+    }
     std::cout << "\n\n";
+}
+
+void
+report(const Table& table)
+{
+    table.print(std::cout);
+    metrics::emitTable(metricsSink(), table);
 }
 
 } // namespace gb::bench

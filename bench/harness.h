@@ -11,6 +11,9 @@
  *                             engine: bsw, phmm; see docs/simd.md)
  *   --cache-dir=DIR           build-or-load prepared artifacts from a
  *                             gb::store cache (see docs/store-format.md)
+ *   --json=FILE               mirror every table row into a
+ *                             machine-readable gb-metrics-v1 JSON file
+ *                             (see docs/metrics.md)
  *
  * Unknown flags are rejected with a clear error (and a did-you-mean
  * suggestion), so a typo like --thread=8 can never silently run the
@@ -23,6 +26,8 @@
 #include <vector>
 
 #include "core/benchmark.h"
+#include "metrics/metrics_sink.h"
+#include "metrics/perf_counters.h"
 #include "util/common.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -38,19 +43,26 @@ struct Options
     std::vector<std::string> kernels; ///< empty = all
     std::string cache_dir; ///< empty = artifact caching disabled
     Engine engine = Engine::kScalar; ///< timed-run execution engine
+    std::string json_path; ///< empty = JSON emission disabled
+    bool help = false; ///< --help/-h was seen (parseStrict only)
 
     /**
      * Parse argv; on any bad option prints a clear error (with a
      * did-you-mean suggestion for near-miss flags) and exits with
-     * status 2. A --cache-dir value is applied to the process-global
-     * store::ArtifactCache, so every kernel prepare() after parse()
-     * transparently builds-or-loads.
+     * status 2; on --help prints usage and exits 0. A --cache-dir
+     * value is applied to the process-global store::ArtifactCache, so
+     * every kernel prepare() after parse() transparently
+     * builds-or-loads.
      */
     static Options parse(int argc, char** argv,
                          DatasetSize default_size = DatasetSize::kSmall);
 
-    /** parse() minus the exit-on-error and cache side effects;
-     *  throws InputError instead (used by tests). */
+    /**
+     * parse() minus every exit and side effect: throws InputError on
+     * bad options, and reports --help/-h by setting `help` (remaining
+     * arguments are not parsed) instead of printing or exiting. Used
+     * by tests.
+     */
     static Options parseStrict(
         int argc, char** argv,
         DatasetSize default_size = DatasetSize::kSmall);
@@ -59,15 +71,53 @@ struct Options
     std::vector<std::string> kernelList() const;
 };
 
+/**
+ * Every flag parseStrict() accepts (name only, sans value). Drives the
+ * did-you-mean suggestions; tests assert it stays in sync with the
+ * parser and the usage text.
+ */
+const std::vector<std::string>& knownFlags();
+
+/** The --help text; lists every flag in knownFlags(). */
+const char* usageText();
+
 /** Human-readable dataset-size name. */
 const char* sizeName(DatasetSize size);
+
+/**
+ * Process-global metrics sink. Disabled (rows are dropped) until a
+ * binary runs printHeader() with a parsed --json=FILE; the JSON file
+ * is written when the process exits normally.
+ */
+metrics::MetricsSink& metricsSink();
+
+/** One timed kernel run plus hardware counters for it. */
+struct RunSample
+{
+    double seconds = 0.0;
+    /**
+     * Counters for the calling thread: the whole run when `pool` has
+     * one thread, rank 0's share otherwise. available=false (with a
+     * reason) when perf_event_open is denied — callers print "n/a".
+     */
+    metrics::PerfSample perf;
+};
+
+/** Time one full run() of a prepared kernel, sampling perf counters. */
+RunSample timeRunSampled(Benchmark& kernel, ThreadPool& pool);
 
 /** Time one full run() of a prepared kernel. */
 double timeRun(Benchmark& kernel, ThreadPool& pool);
 
+/** Format a counter-derived value, "n/a" when negative (unavailable). */
+std::string orNA(double value, int precision = 2);
+
 /** Print the standard bench header line. */
 void printHeader(const std::string& experiment,
                  const std::string& paper_ref, const Options& options);
+
+/** Print `table` to stdout and mirror its rows into metricsSink(). */
+void report(const Table& table);
 
 } // namespace gb::bench
 

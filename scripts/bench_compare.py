@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validate and compare gb-metrics-v1 benchmark JSON documents.
+
+Every bench binary writes one JSON document per run via --json=FILE
+(see docs/metrics.md). This script is the consumer side:
+
+  bench_compare.py --self-check RUN.json
+      Validate that RUN.json is a well-formed gb-metrics-v1 document.
+      Exit 0 when valid, 2 when not.
+
+  bench_compare.py BASELINE.json CURRENT.json [--tolerance PCT]
+      Compare two runs row by row. Rows are matched on their string
+      fields (kernel name, table, ...); numeric fields are diffed.
+      Time-like gate fields (real_ms, cpu_ms, seconds and any extra
+      --gate-key) that grew by more than --tolerance percent are
+      regressions. Exit 0 when clean, 1 on regression or a baseline
+      row missing from the current run, 2 on malformed input.
+
+Stdlib only; no third-party packages.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gb-metrics-v1"
+META_KEYS = {
+    "experiment", "paper_ref", "git_sha", "size", "threads",
+    "engine", "simd_level", "host_hw_threads",
+}
+DEFAULT_GATE_KEYS = {"real_ms", "cpu_ms", "seconds", "t=1 (s)"}
+
+
+def validate(doc):
+    """Return a list of schema-violation messages (empty = valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(
+            f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errors.append("meta is missing or not an object")
+    else:
+        for key in sorted(META_KEYS - meta.keys()):
+            errors.append(f"meta.{key} is missing")
+        for key in ("experiment", "git_sha", "size", "engine",
+                    "simd_level"):
+            if key in meta and not isinstance(meta[key], str):
+                errors.append(f"meta.{key} is not a string")
+        for key in ("threads", "host_hw_threads"):
+            if key in meta and not isinstance(meta[key], int):
+                errors.append(f"meta.{key} is not an integer")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        errors.append("rows is missing or not an array")
+        return errors
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"rows[{i}] is not an object")
+            continue
+        if not isinstance(row.get("table"), str):
+            errors.append(f"rows[{i}].table is missing or not a string")
+        for key, value in row.items():
+            if not isinstance(value,
+                              (str, int, float, bool, type(None))):
+                errors.append(
+                    f"rows[{i}].{key} has non-scalar value "
+                    f"{type(value).__name__}")
+    return errors
+
+
+def load(path):
+    """Load and validate one document; exits 2 on failure."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: {path}: {err}")
+    errors = validate(doc)
+    if errors:
+        for message in errors:
+            print(f"{path}: {message}", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def row_key(row):
+    """Identity of a row: its string/bool fields, sorted."""
+    return tuple(sorted(
+        (k, v) for k, v in row.items()
+        if isinstance(v, (str, bool))))
+
+
+def numeric_fields(row):
+    return {k: float(v) for k, v in row.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def compare(baseline, current, tolerance_pct, gate_keys):
+    """Print a per-row diff; return the number of failures."""
+    base_rows = {row_key(r): r for r in baseline["rows"]}
+    curr_rows = {row_key(r): r for r in current["rows"]}
+    failures = 0
+
+    for key, base in base_rows.items():
+        curr = curr_rows.get(key)
+        label = " ".join(
+            str(v) for _, v in key if not isinstance(v, bool))
+        if curr is None:
+            print(f"MISSING  {label}: row absent from current run")
+            failures += 1
+            continue
+        base_nums = numeric_fields(base)
+        curr_nums = numeric_fields(curr)
+        for field in sorted(base_nums.keys() & curr_nums.keys()):
+            old, new = base_nums[field], curr_nums[field]
+            if old == 0.0:
+                continue
+            delta_pct = (new - old) / abs(old) * 100.0
+            gated = field in gate_keys
+            if gated and delta_pct > tolerance_pct:
+                print(f"REGRESS  {label} {field}: "
+                      f"{old:g} -> {new:g} ({delta_pct:+.1f}% "
+                      f"> {tolerance_pct:g}%)")
+                failures += 1
+            elif abs(delta_pct) > tolerance_pct:
+                print(f"note     {label} {field}: "
+                      f"{old:g} -> {new:g} ({delta_pct:+.1f}%)")
+    for key in curr_rows.keys() - base_rows.keys():
+        label = " ".join(
+            str(v) for _, v in key if not isinstance(v, bool))
+        print(f"note     new row not in baseline: {label}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", metavar="JSON",
+                        help="run document(s): one with --self-check, "
+                             "else BASELINE CURRENT")
+    parser.add_argument("--self-check", action="store_true",
+                        help="only validate the document schema")
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        metavar="PCT",
+                        help="allowed growth of gate fields "
+                             "(default: %(default)s%%)")
+    parser.add_argument("--gate-key", action="append", default=[],
+                        metavar="FIELD",
+                        help="additional numeric field to gate on "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    if args.self_check:
+        if len(args.files) != 1:
+            parser.error("--self-check takes exactly one file")
+        doc = load(args.files[0])
+        meta = doc["meta"]
+        print(f"ok: {args.files[0]}: {SCHEMA}, "
+              f"experiment {meta['experiment']!r}, "
+              f"{len(doc['rows'])} row(s)")
+        return 0
+
+    if len(args.files) != 2:
+        parser.error("comparison takes BASELINE and CURRENT")
+    baseline = load(args.files[0])
+    current = load(args.files[1])
+    gate_keys = DEFAULT_GATE_KEYS | set(args.gate_key)
+    failures = compare(baseline, current, args.tolerance, gate_keys)
+    if failures:
+        print(f"{failures} failure(s) at tolerance "
+              f"{args.tolerance:g}%", file=sys.stderr)
+        return 1
+    print(f"ok: {len(baseline['rows'])} baseline row(s) within "
+          f"{args.tolerance:g}% on gate fields")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 build + tests, the SIMD equivalence
 # suite at every dispatch level (GB_SIMD_LEVEL=scalar|sse4|avx2), the
-# gb::store and gb::simd test suites under ASan/UBSan, and an
-# end-to-end artifact-cache smoke test (store build -> store verify ->
-# warm bench run + corruption and bad-flag rejection checks).
+# gb::store and gb::simd test suites under ASan/UBSan, the thread-pool
+# and metrics suites under TSan, a metrics smoke test (--json emission
+# validated by scripts/bench_compare.py), and an end-to-end
+# artifact-cache smoke test (store build -> store verify -> warm bench
+# run + corruption and bad-flag rejection checks).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -49,6 +51,37 @@ if [[ $SKIP_SAN -eq 0 ]]; then
             --gtest_brief=1
     done
 fi
+
+# ------------------------------------------------------- TSan build
+# The scheduler telemetry writes per-rank slots from worker threads;
+# TSan proves the thread-pool accounting and the metrics plumbing are
+# race-free.
+if [[ $SKIP_SAN -eq 0 ]]; then
+    step "TSan: build + run thread-pool and metrics tests"
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+        >/dev/null
+    cmake --build build-tsan -j"$JOBS" --target test_util test_metrics
+    ./build-tsan/tests/test_util --gtest_brief=1
+    ./build-tsan/tests/test_metrics --gtest_brief=1
+fi
+
+# ------------------------------------------------------- metrics smoke
+# Every bench binary emits gb-metrics-v1 JSON via --json=FILE;
+# bench_compare.py is the consumer (docs/metrics.md). Emit from a
+# google-benchmark binary and a table binary, validate both, and prove
+# the self-comparison gate passes on identical runs.
+step "metrics: JSON emission -> bench_compare.py"
+MDIR=$(mktemp -d)
+./build/bench/bench_kernels --size=tiny --json="$MDIR/kernels.json" \
+    --benchmark_filter='bsw' >/dev/null
+python3 scripts/bench_compare.py --self-check "$MDIR/kernels.json"
+./build/bench/bench_fig4_task_imbalance --size=tiny --kernels=bsw \
+    --json="$MDIR/fig4.json" >/dev/null
+python3 scripts/bench_compare.py --self-check "$MDIR/fig4.json"
+python3 scripts/bench_compare.py "$MDIR/fig4.json" "$MDIR/fig4.json"
+rm -rf "$MDIR"
 
 # ------------------------------------------------------ cache smoke test
 step "artifact cache: build -> verify -> warm run"

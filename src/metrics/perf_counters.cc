@@ -1,0 +1,177 @@
+#include "metrics/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace gb::metrics {
+
+double
+PerfSample::ipc() const
+{
+    if (!valid(cycles) || !valid(instructions) || cycles == 0.0) {
+        return -1.0;
+    }
+    return instructions / cycles;
+}
+
+double
+PerfSample::perKiloInstructions(double events) const
+{
+    if (!valid(events) || !valid(instructions) || instructions == 0.0) {
+        return -1.0;
+    }
+    return events / (instructions / 1000.0);
+}
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventSpec
+{
+    u32 type;
+    u64 config;
+    const char* name;
+};
+
+/** Sampled events, in PerfSample field order. */
+constexpr EventSpec kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, "LLC-misses"},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, "branch-misses"},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, "task-clock"},
+};
+
+int
+openEvent(const EventSpec& spec)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.size = sizeof attr;
+    attr.type = spec.type;
+    attr.config = spec.config;
+    attr.disabled = 1;
+    // User-space only: works at perf_event_paranoid <= 2 (the common
+    // container default) and matches what the kernels themselves cost.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1,
+                                    /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+/** Counter value scaled for kernel multiplexing, or -1. */
+double
+readScaled(int fd)
+{
+    if (fd < 0) return -1.0;
+    struct
+    {
+        u64 value;
+        u64 time_enabled;
+        u64 time_running;
+    } data{};
+    if (read(fd, &data, sizeof data) != sizeof data) return -1.0;
+    if (data.time_running == 0) {
+        return data.value == 0 ? -1.0 : static_cast<double>(data.value);
+    }
+    return static_cast<double>(data.value) *
+           (static_cast<double>(data.time_enabled) /
+            static_cast<double>(data.time_running));
+}
+
+} // namespace
+
+PerfCounters::PerfCounters()
+{
+    for (int i = 0; i < kNumEvents; ++i) {
+        fds_[i] = openEvent(kEvents[i]);
+        if (fds_[i] < 0 && i < 2) {
+            // cycles/instructions are the spine; without them the
+            // sample is useless, so report the first failure and bail.
+            reason_ = std::string("perf_event_open(") + kEvents[i].name +
+                      "): " + std::strerror(errno);
+            for (int j = 0; j < i; ++j) {
+                close(fds_[j]);
+                fds_[j] = -1;
+            }
+            return;
+        }
+    }
+    available_ = true;
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int fd : fds_) {
+        if (fd >= 0) close(fd);
+    }
+}
+
+void
+PerfCounters::start()
+{
+    for (int fd : fds_) {
+        if (fd < 0) continue;
+        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+}
+
+PerfSample
+PerfCounters::stop()
+{
+    PerfSample sample;
+    if (!available_) {
+        sample.unavailable_reason = reason_;
+        return sample;
+    }
+    for (int fd : fds_) {
+        if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    }
+    sample.available = true;
+    sample.cycles = readScaled(fds_[0]);
+    sample.instructions = readScaled(fds_[1]);
+    sample.llc_misses = readScaled(fds_[2]);
+    sample.branch_misses = readScaled(fds_[3]);
+    const double task_clock_ns = readScaled(fds_[4]);
+    sample.task_clock_seconds =
+        task_clock_ns >= 0.0 ? task_clock_ns * 1e-9 : -1.0;
+    return sample;
+}
+
+#else // !__linux__
+
+PerfCounters::PerfCounters()
+    : reason_("perf_event_open is Linux-only")
+{
+}
+
+PerfCounters::~PerfCounters() = default;
+
+void
+PerfCounters::start()
+{
+}
+
+PerfSample
+PerfCounters::stop()
+{
+    PerfSample sample;
+    sample.unavailable_reason = reason_;
+    return sample;
+}
+
+#endif
+
+} // namespace gb::metrics

@@ -3,16 +3,21 @@
 namespace gb {
 
 double
-percentile(std::vector<double> samples, double q)
+percentile(std::span<double> samples, double q)
 {
     if (samples.empty()) return 0.0;
     q = std::clamp(q, 0.0, 100.0);
-    std::sort(samples.begin(), samples.end());
     const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
     const auto lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, samples.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+    const auto lo_it = samples.begin() + static_cast<std::ptrdiff_t>(lo);
+    std::nth_element(samples.begin(), lo_it, samples.end());
+    const double lo_value = *lo_it;
+    if (frac == 0.0 || lo + 1 >= samples.size()) return lo_value;
+    // After nth_element everything right of lo_it is >= *lo_it, so the
+    // next order statistic is that suffix's minimum.
+    const double hi_value = *std::min_element(lo_it + 1, samples.end());
+    return lo_value * (1.0 - frac) + hi_value * frac;
 }
 
 int

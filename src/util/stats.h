@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "util/common.h"
@@ -83,8 +84,14 @@ class RunningStats
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/** Compute the q-th percentile (0..100) of a sample vector (copies). */
-double percentile(std::vector<double> samples, double q);
+/**
+ * Compute the q-th percentile (0..100) of `samples` with linear
+ * interpolation between order statistics. Selects with
+ * std::nth_element instead of a full sort, so the call is O(n) — but
+ * it partially reorders the caller's buffer in place. Pass a copy if
+ * the original order matters. Returns 0 for an empty span.
+ */
+double percentile(std::span<double> samples, double q);
 
 /** Logarithmically binned histogram for long-tailed work distributions. */
 class LogHistogram

@@ -52,6 +52,18 @@ class Table
     /** Render the table to a string. */
     std::string str() const;
 
+    /** Caption passed at construction. */
+    const std::string& title() const { return title_; }
+
+    /** Header row (empty until setHeader()). */
+    const std::vector<std::string>& header() const { return header_; }
+
+    /** All appended rows, as formatted cells. */
+    const std::vector<std::vector<std::string>>& rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -1,8 +1,21 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace gb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads)
 {
@@ -10,6 +23,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
         num_threads = std::max(1u, std::thread::hardware_concurrency());
     }
     num_threads_ = num_threads;
+    slots_.resize(num_threads_);
     // Rank 0 is the calling thread; spawn the rest.
     for (unsigned rank = 1; rank < num_threads_; ++rank) {
         workers_.emplace_back([this, rank] { workerLoop(rank); });
@@ -24,6 +38,21 @@ ThreadPool::~ThreadPool()
     }
     start_cv_.notify_all();
     for (auto& t : workers_) t.join();
+}
+
+void
+ThreadPool::resetTelemetry()
+{
+    for (auto& slot : slots_) slot.t = RankTelemetry{};
+}
+
+std::vector<RankTelemetry>
+ThreadPool::telemetry() const
+{
+    std::vector<RankTelemetry> out;
+    out.reserve(slots_.size());
+    for (const auto& slot : slots_) out.push_back(slot.t);
+    return out;
 }
 
 void
@@ -49,11 +78,16 @@ void
 ThreadPool::runJob(Job& job, unsigned rank)
 {
     const u64 grain = std::max<u64>(1, job.grain);
+    const auto entered = Clock::now();
+    double busy = 0.0;
+    u64 chunks = 0;
+    u64 indices = 0;
     for (;;) {
         const u64 begin = job.cursor.fetch_add(grain,
                                                std::memory_order_relaxed);
         if (begin >= job.n) break;
         const u64 end = std::min(job.n, begin + grain);
+        const auto chunk_start = Clock::now();
         try {
             for (u64 i = begin; i < end; ++i) (*job.body)(i, rank);
         } catch (...) {
@@ -62,7 +96,16 @@ ThreadPool::runJob(Job& job, unsigned rank)
             // Drain remaining work so all workers finish promptly.
             job.cursor.store(job.n, std::memory_order_relaxed);
         }
+        busy += secondsSince(chunk_start);
+        ++chunks;
+        indices += end - begin;
     }
+    RankTelemetry& t = slots_[rank].t;
+    t.busy_seconds += busy;
+    t.wait_seconds += std::max(0.0, secondsSince(entered) - busy);
+    t.chunks += chunks;
+    t.indices += indices;
+    ++t.jobs;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job.done_workers.fetch_add(1, std::memory_order_acq_rel);
@@ -76,7 +119,22 @@ ThreadPool::parallelForRanked(
 {
     if (n == 0) return;
     if (num_threads_ == 1 || n == 1) {
-        for (u64 i = 0; i < n; ++i) body(i, 0);
+        // Inline fast path; telemetry mirrors the scheduled path so
+        // chunk accounting stays consistent (sum == ceilDiv(n, grain)).
+        const u64 g = std::max<u64>(1, grain);
+        RankTelemetry& t = slots_[0].t;
+        const auto start = Clock::now();
+        try {
+            for (u64 i = 0; i < n; ++i) body(i, 0);
+        } catch (...) {
+            t.busy_seconds += secondsSince(start);
+            ++t.jobs;
+            throw;
+        }
+        t.busy_seconds += secondsSince(start);
+        t.chunks += ceilDiv(n, g);
+        t.indices += n;
+        ++t.jobs;
         return;
     }
 

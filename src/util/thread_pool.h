@@ -23,6 +23,22 @@
 namespace gb {
 
 /**
+ * Per-rank scheduler telemetry, accumulated across parallelFor calls
+ * (paper Fig. 4/7: measured load balance instead of the modeled one).
+ * busy is time spent inside body chunks; wait is the remainder of the
+ * rank's in-job window (claim overhead + idling while other ranks
+ * drain the cursor). Time parked between jobs is not counted.
+ */
+struct RankTelemetry
+{
+    double busy_seconds = 0.0; ///< time executing body chunks
+    double wait_seconds = 0.0; ///< in-job non-busy time
+    u64 chunks = 0;            ///< cursor claims that yielded work
+    u64 indices = 0;           ///< loop indices executed
+    u64 jobs = 0;              ///< parallelFor calls this rank joined
+};
+
+/**
  * Fixed-size pool of worker threads.
  *
  * Work is submitted through parallelFor(); arbitrary job submission is
@@ -70,6 +86,15 @@ class ThreadPool
         u64 n, const std::function<void(u64, unsigned)>& body,
         u64 grain = 1);
 
+    /**
+     * Zero the accumulated per-rank telemetry. Must not race with a
+     * parallelFor in flight (telemetry is for the measuring caller).
+     */
+    void resetTelemetry();
+
+    /** Copy of the accumulated telemetry, one entry per rank. */
+    std::vector<RankTelemetry> telemetry() const;
+
   private:
     struct Job
     {
@@ -85,8 +110,15 @@ class ThreadPool
     void workerLoop(unsigned rank);
     void runJob(Job& job, unsigned rank);
 
+    /** Cache-line-padded so ranks never share a telemetry line. */
+    struct alignas(64) RankSlot
+    {
+        RankTelemetry t;
+    };
+
     unsigned num_threads_;
     std::vector<std::thread> workers_;
+    std::vector<RankSlot> slots_;
 
     std::mutex mutex_;
     std::condition_variable start_cv_;

@@ -155,6 +155,34 @@ TEST(Percentile, Empty)
     EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
 }
 
+TEST(Percentile, SingleSample)
+{
+    std::vector<double> v{7.5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 7.5);
+}
+
+TEST(Percentile, TwoSamplesInterpolate)
+{
+    std::vector<double> v{20.0, 10.0}; // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 15.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 12.5);
+}
+
+TEST(Percentile, UnsortedInputAndExtremes)
+{
+    std::vector<double> v{9, 1, 5, 3, 7, 2, 8, 4, 6, 10};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+    // nth_element reorders in place; the result set is unchanged.
+    EXPECT_DOUBLE_EQ(
+        std::accumulate(v.begin(), v.end(), 0.0), 55.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 90), 9.1);
+}
+
 TEST(LogHistogram, BinsPowersOfTwo)
 {
     LogHistogram h(2.0);
@@ -261,6 +289,88 @@ TEST(ThreadPool, PropagatesException)
     std::atomic<u64> n{0};
     pool.parallelFor(10, [&](u64) { n.fetch_add(1); });
     EXPECT_EQ(n.load(), 10u);
+}
+
+TEST(ThreadPool, BackToBackAfterThrow)
+{
+    // Stress the generation handshake: a parallelFor that throws must
+    // leave the pool immediately reusable, round after round.
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        EXPECT_THROW(
+            pool.parallelFor(200,
+                             [&](u64 i) {
+                                 if (i % 50 == 7) {
+                                     throw std::runtime_error("boom");
+                                 }
+                             }),
+            std::runtime_error);
+        std::atomic<u64> sum{0};
+        pool.parallelFor(100, [&](u64 i) { sum.fetch_add(i); });
+        EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, TelemetryConsistency)
+{
+    // Scheduler-telemetry invariant: across ranks, claimed chunks sum
+    // to ceilDiv(n, grain) and executed indices sum to n.
+    ThreadPool pool(4);
+    const u64 n = 1000;
+    const u64 grain = 7;
+    pool.resetTelemetry();
+    pool.parallelForRanked(n, [](u64, unsigned) {}, grain);
+    const auto ranks = pool.telemetry();
+    ASSERT_EQ(ranks.size(), 4u);
+    u64 chunks = 0;
+    u64 indices = 0;
+    for (const auto& t : ranks) {
+        chunks += t.chunks;
+        indices += t.indices;
+        EXPECT_GE(t.busy_seconds, 0.0);
+        EXPECT_GE(t.wait_seconds, 0.0);
+        EXPECT_EQ(t.jobs, 1u);
+    }
+    EXPECT_EQ(chunks, ceilDiv(n, grain));
+    EXPECT_EQ(indices, n);
+}
+
+TEST(ThreadPool, TelemetryFastPathMatchesScheduledAccounting)
+{
+    // The 1-thread inline path must keep the same chunk invariant so
+    // consumers (bench_fig4/fig7) need no special cases.
+    ThreadPool pool(1);
+    pool.resetTelemetry();
+    pool.parallelFor(10, [](u64) {}, 3);
+    const auto ranks = pool.telemetry();
+    ASSERT_EQ(ranks.size(), 1u);
+    EXPECT_EQ(ranks[0].chunks, ceilDiv(u64{10}, u64{3}));
+    EXPECT_EQ(ranks[0].indices, 10u);
+    EXPECT_EQ(ranks[0].jobs, 1u);
+}
+
+TEST(ThreadPool, TelemetryAccumulatesAndResets)
+{
+    ThreadPool pool(2);
+    pool.resetTelemetry();
+    pool.parallelFor(64, [](u64) {});
+    pool.parallelFor(64, [](u64) {});
+    u64 indices = 0;
+    u64 jobs = 0;
+    for (const auto& t : pool.telemetry()) {
+        indices += t.indices;
+        jobs += t.jobs;
+    }
+    EXPECT_EQ(indices, 128u);
+    EXPECT_EQ(jobs, 4u); // 2 ranks x 2 jobs
+    pool.resetTelemetry();
+    for (const auto& t : pool.telemetry()) {
+        EXPECT_EQ(t.indices, 0u);
+        EXPECT_EQ(t.chunks, 0u);
+        EXPECT_EQ(t.jobs, 0u);
+        EXPECT_DOUBLE_EQ(t.busy_seconds, 0.0);
+        EXPECT_DOUBLE_EQ(t.wait_seconds, 0.0);
+    }
 }
 
 TEST(ThreadPool, ZeroIterations)

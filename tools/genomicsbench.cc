@@ -29,6 +29,9 @@
 #include "arch/cache_sim.h"
 #include "arch/topdown.h"
 #include "core/benchmark.h"
+#include "metrics/metrics_sink.h"
+#include "metrics/perf_counters.h"
+#include "simd/simd.h"
 #include "store/cache.h"
 #include "store/container.h"
 #include "util/table.h"
@@ -37,6 +40,17 @@
 namespace {
 
 using namespace gb;
+
+/** Armed by --json=FILE; rows are dropped until then. */
+metrics::MetricsSink g_sink;
+
+/** Print a table and mirror its rows into the metrics sink. */
+void
+report(const Table& table)
+{
+    table.print(std::cout);
+    metrics::emitTable(g_sink, table);
+}
 
 int
 usage()
@@ -47,9 +61,10 @@ usage()
            "  genomicsbench info <kernel>\n"
            "  genomicsbench run <kernel> [--size=tiny|small|large]"
            " [--threads=N] [--repeat=R] [--engine=scalar|simd]"
-           " [--cache-dir=DIR]\n"
+           " [--cache-dir=DIR] [--json=FILE]\n"
            "  genomicsbench characterize <kernel>"
-           " [--size=tiny|small|large] [--cache-dir=DIR]\n"
+           " [--size=tiny|small|large] [--cache-dir=DIR]"
+           " [--json=FILE]\n"
            "  genomicsbench store build [--cache-dir=DIR]"
            " [--size=S] [--kernels=a,b,c]\n"
            "  genomicsbench store inspect <file.gbs>\n"
@@ -122,21 +137,65 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     std::cout << '\n';
 
     ThreadPool pool(threads);
+    metrics::PerfCounters counters;
     double best = 1e300;
     u64 tasks = 0;
+    metrics::PerfSample best_sample;
     for (unsigned r = 0; r < repeat; ++r) {
         WallTimer timer;
+        counters.start();
         tasks = kernel->run(pool);
+        const auto sample = counters.stop();
         const double seconds = timer.seconds();
-        best = std::min(best, seconds);
+        if (seconds < best) {
+            best = seconds;
+            best_sample = sample;
+        }
         std::cout << "run " << r + 1 << ": "
                   << formatF(seconds, 3) << " s, " << tasks
                   << " tasks ("
                   << formatF(static_cast<double>(tasks) / seconds, 1)
                   << " tasks/s)\n";
+        g_sink.newRow("run")
+            .str("kernel", name)
+            .count("repeat", r + 1)
+            .num("seconds", seconds)
+            .count("tasks", tasks)
+            .num("tasks_per_sec",
+                 static_cast<double>(tasks) / seconds);
     }
     std::cout << "best: " << formatF(best, 3) << " s with "
               << pool.numThreads() << " threads\n";
+    // Measured counters for the best repeat; per-thread fds, so with
+    // >1 worker this is rank 0's share of the run.
+    if (best_sample.available) {
+        // Individual counters can still be missing (negative).
+        const auto fmt = [](double v) {
+            return v < 0.0 ? std::string("n/a")
+                           : formatCount(static_cast<u64>(v));
+        };
+        std::cout << "counters ("
+                  << (pool.numThreads() == 1 ? "whole run"
+                                             : "rank 0 share")
+                  << "): ipc " << formatF(best_sample.ipc(), 2)
+                  << ", cycles " << fmt(best_sample.cycles)
+                  << ", LLC misses " << fmt(best_sample.llc_misses)
+                  << ", branch misses "
+                  << fmt(best_sample.branch_misses) << '\n';
+    } else {
+        std::cout << "counters unavailable ("
+                  << best_sample.unavailable_reason << ")\n";
+    }
+    g_sink.newRow("run_best")
+        .str("kernel", name)
+        .num("seconds", best)
+        .count("threads", pool.numThreads())
+        .flag("counters_available", best_sample.available)
+        .num("ipc", best_sample.ipc())
+        .num("cycles", best_sample.cycles)
+        .num("instructions", best_sample.instructions)
+        .num("llc_misses", best_sample.llc_misses)
+        .num("branch_misses", best_sample.branch_misses);
     return 0;
 }
 
@@ -164,7 +223,7 @@ cmdCharacterize(const std::string& name, DatasetSize size)
             .cell(formatCount(counts[c]))
             .cellF(counts.fraction(c) * 100.0, 1);
     }
-    mix.print(std::cout);
+    report(mix);
 
     Table mem("Memory behaviour");
     mem.setHeader({"metric", "value"});
@@ -182,7 +241,7 @@ cmdCharacterize(const std::string& name, DatasetSize size)
         static_cast<double>(cache.dramStats().bytes) /
             (static_cast<double>(counts.total()) / 1000.0),
         2);
-    mem.print(std::cout);
+    report(mem);
 
     const auto td = topDownAnalyze(counts, cache, probe.mispredicts());
     Table topdown("Top-down attribution");
@@ -196,7 +255,7 @@ cmdCharacterize(const std::string& name, DatasetSize size)
         td.backend_memory * 100.0, 1);
     topdown.newRow().cell("core bound").cellF(
         td.backend_core * 100.0, 1);
-    topdown.print(std::cout);
+    report(topdown);
     return 0;
 }
 
@@ -307,6 +366,7 @@ main(int argc, char** argv)
         unsigned threads = 0;
         unsigned repeat = 3;
         Engine engine = Engine::kScalar;
+        std::string json_path;
         std::vector<std::string> kernels;
         std::vector<std::string> positional;
         for (int i = 2; i < argc; ++i) {
@@ -323,6 +383,8 @@ main(int argc, char** argv)
                 engine = parseEngine(arg.substr(9));
             } else if (arg.rfind("--cache-dir=", 0) == 0) {
                 store::setCacheDir(arg.substr(12));
+            } else if (arg.rfind("--json=", 0) == 0) {
+                json_path = arg.substr(7);
             } else if (arg.rfind("--kernels=", 0) == 0) {
                 std::istringstream list(arg.substr(10));
                 std::string name;
@@ -335,6 +397,23 @@ main(int argc, char** argv)
             } else {
                 positional.push_back(arg);
             }
+        }
+
+        if (!json_path.empty()) {
+            metrics::RunMeta meta;
+            meta.experiment = command +
+                              (positional.empty()
+                                   ? std::string()
+                                   : ":" + positional.front());
+            meta.paper_ref = "genomicsbench CLI";
+            meta.size = size == DatasetSize::kTiny    ? "tiny"
+                        : size == DatasetSize::kSmall ? "small"
+                                                      : "large";
+            meta.threads = threads;
+            meta.engine = engineName(engine);
+            meta.simd_level =
+                simd::simdLevelName(simd::activeSimdLevel());
+            g_sink.open(json_path, std::move(meta));
         }
 
         if (command == "store") {
