@@ -71,21 +71,32 @@ runKernel(benchmark::State& state, const std::string& name,
     auto kernel = createKernel(name);
     kernel->prepare(g_size);
     kernel->setEngine(engine);
+    // engine:scalar is the suite's no-SIMD reference row. Kernels that
+    // route shared helpers through the gb::simd dispatcher (fmi's occ
+    // resolution) would otherwise still pick up vector code on a
+    // capable host, understating the engine:simd speedup.
+    if (engine == Engine::kScalar) {
+        simd::setSimdLevel(simd::SimdLevel::kScalar);
+    }
     ThreadPool pool(threads);
     u64 tasks = 0;
     for (auto _ : state) {
         tasks = kernel->run(pool);
     }
+    if (engine == Engine::kScalar) simd::resetSimdLevel();
     state.counters["tasks"] = static_cast<double>(tasks);
     state.SetItemsProcessed(static_cast<i64>(tasks) *
                             state.iterations());
 }
 
-/** Kernels that have a real gb::simd execution engine. */
+/** Kernels with a non-scalar execution engine: gb::simd lockstep
+ *  batches (bsw, phmm) or gb::mlp prefetch-pipelined batches with
+ *  SIMD occ resolution (fmi, kmer-cnt). */
 bool
 hasSimdEngine(const std::string& name)
 {
-    return name == "bsw" || name == "phmm";
+    return name == "bsw" || name == "phmm" || name == "fmi" ||
+           name == "kmer-cnt";
 }
 
 void

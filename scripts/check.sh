@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, the SIMD equivalence
-# suite at every dispatch level (GB_SIMD_LEVEL=scalar|sse4|avx2), the
-# gb::store and gb::simd test suites under ASan/UBSan, the thread-pool
-# and metrics suites under TSan, a metrics smoke test (--json emission
-# validated by scripts/bench_compare.py), and an end-to-end
-# artifact-cache smoke test (store build -> store verify -> warm bench
-# run + corruption and bad-flag rejection checks).
+# Full pre-merge check: tier-1 build + tests, the SIMD and batched-MLP
+# equivalence suites at every dispatch level
+# (GB_SIMD_LEVEL=scalar|sse4|avx2), the gb::store, gb::simd and gb::mlp
+# test suites under ASan/UBSan, the thread-pool and metrics suites
+# under TSan, a metrics smoke test (--json emission validated by
+# scripts/bench_compare.py), the mlp ablation benches (self-verifying),
+# a benchmark-baseline comparison against
+# baselines/gb-metrics-v1.tiny.json (tolerance via GB_BENCH_TOLERANCE,
+# percent), and an end-to-end artifact-cache smoke test (store build ->
+# store verify -> warm bench run + corruption and bad-flag rejection
+# checks).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -31,23 +35,27 @@ step "tier-1: ctest"
 # host with AVX2 still exercises the SSE4 and scalar dispatch paths
 # (the env override clamps to what the CPU supports, so this is safe
 # on any machine).
-step "gb::simd: equivalence at every dispatch level"
+step "gb::simd + gb::mlp: equivalence at every dispatch level"
 for level in scalar sse4 avx2; do
     echo "-- GB_SIMD_LEVEL=$level"
     GB_SIMD_LEVEL=$level ./build/tests/test_simd
+    GB_SIMD_LEVEL=$level ./build/tests/test_mlp --gtest_brief=1
 done
 
 # ------------------------------------------------------- sanitizer build
 if [[ $SKIP_SAN -eq 0 ]]; then
-    step "ASan/UBSan: build + run store + simd tests"
+    step "ASan/UBSan: build + run store + simd + mlp tests"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
         >/dev/null
-    cmake --build build-asan -j"$JOBS" --target test_store test_simd
+    cmake --build build-asan -j"$JOBS" --target test_store test_simd \
+        test_mlp
     ./build-asan/tests/test_store
     for level in scalar sse4 avx2; do
         GB_SIMD_LEVEL=$level ./build-asan/tests/test_simd \
+            --gtest_brief=1
+        GB_SIMD_LEVEL=$level ./build-asan/tests/test_mlp \
             --gtest_brief=1
     done
 fi
@@ -81,6 +89,29 @@ python3 scripts/bench_compare.py --self-check "$MDIR/kernels.json"
     --json="$MDIR/fig4.json" >/dev/null
 python3 scripts/bench_compare.py --self-check "$MDIR/fig4.json"
 python3 scripts/bench_compare.py "$MDIR/fig4.json" "$MDIR/fig4.json"
+
+# --------------------------------------------------- mlp ablation smoke
+# Both ablation benches verify their engine outputs against the scalar
+# reference internally and exit non-zero on any mismatch, so a plain
+# tiny-size invocation doubles as a correctness gate for the batched
+# FM-index and prefetch-pipelined k-mer paths.
+step "mlp ablations: occ-spacing + kmer-prefetch smoke (tiny)"
+./build/bench/bench_ablation_fmi_occ --size=tiny
+./build/bench/bench_ablation_kmer_prefetch --size=tiny
+
+# --------------------------------------------------- benchmark baseline
+# Compare a fresh tiny run of the four SIMD-enabled kernels against the
+# committed baseline. The structural assertion is the strong one: every
+# baseline row (engine:scalar AND engine:simd, threads 1 and 4) must
+# exist in the fresh run or bench_compare.py fails. The timing gate is
+# deliberately loose by default because tiny runs are ms-scale and this
+# check must pass on shared/noisy hosts; tighten with GB_BENCH_TOLERANCE
+# (percent) on a quiet machine.
+step "baseline: bench_kernels tiny vs baselines/gb-metrics-v1.tiny.json"
+./build/bench/bench_kernels --size=tiny --json="$MDIR/kernels_tiny.json" \
+    --benchmark_filter='(bsw|phmm|fmi|kmer-cnt)/' >/dev/null
+python3 scripts/bench_compare.py baselines/gb-metrics-v1.tiny.json \
+    "$MDIR/kernels_tiny.json" --tolerance "${GB_BENCH_TOLERANCE:-400}"
 rm -rf "$MDIR"
 
 # ------------------------------------------------------ cache smoke test

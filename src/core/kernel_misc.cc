@@ -115,15 +115,22 @@ class KmerCntKernel final : public Benchmark
             tables.push_back(std::make_unique<KmerCounter>(
                 capacity_log2_, HashScheme::kRobinHood));
         }
+        // --engine=simd routes through the prefetch-pipelined
+        // addBatch path (gb::mlp); table contents are identical.
+        const bool pipelined = engine() == Engine::kSimd;
         pool.parallelForRanked(
             batches_.size(),
             [&](u64 b, unsigned rank) {
                 NullProbe probe;
                 const auto [lo, hi] = batches_[b];
-                countKmers(
+                const auto span =
                     std::span<const std::vector<u8>>(reads_)
-                        .subspan(lo, hi - lo),
-                    kK, *tables[rank], probe);
+                        .subspan(lo, hi - lo);
+                if (pipelined) {
+                    countKmersPrefetch(span, kK, *tables[rank], probe);
+                } else {
+                    countKmers(span, kK, *tables[rank], probe);
+                }
             },
             1);
         for (unsigned t = 1; t < threads; ++t) {

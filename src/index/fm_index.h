@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "arch/probe.h"
+#include "simd/occ_engine.h"
 #include "util/common.h"
 
 namespace gb {
@@ -158,25 +160,102 @@ class FmIndex
      *
      * One checkpoint-block access per call; the probe sees the real
      * block address so the cache simulator reproduces the fmi access
-     * pattern.
+     * pattern. The partial block is resolved with the runtime-
+     * dispatched popcount-over-bit-planes counter (simd::occCount),
+     * bit-identical to a byte loop at every dispatch level; the
+     * modeled cost stays ~12 scalar ops either way. A block-aligned
+     * `i` touches only the checkpoint: no BWT bytes are scanned and
+     * none are charged to the probe.
      */
     template <typename Probe>
     std::array<u64, kAlphabet>
     occAll(u64 i, Probe& probe) const
     {
-        const u64 block_idx = i / block_len_;
+        const u64 block_idx = blockIndex(i);
         const u32* block_counts = &counts_[block_idx * kAlphabet];
         probe.load(block_counts, kAlphabet * sizeof(u32));
         std::array<u64, kAlphabet> counts;
         for (u32 c = 0; c < kAlphabet; ++c) counts[c] = block_counts[c];
         const u64 base = block_idx * block_len_;
         const u32 rem = static_cast<u32>(i - base);
-        probe.load(&bwt_[base], rem ? rem : 1);
-        for (u32 j = 0; j < rem; ++j) ++counts[bwt_[base + j]];
-        // Real implementations (BWA-MEM2) resolve the partial block
-        // with vectorized popcounts, not a byte loop: ~12 scalar ops.
+        if (rem) {
+            probe.load(&bwt_[base], rem);
+            scanOcc(&bwt_[base], rem, counts.data());
+        }
         probe.op(OpClass::kIntAlu, 12);
         return counts;
+    }
+
+    /**
+     * Hint the cache hierarchy to fetch the occ checkpoint block a
+     * future occAll(i) will touch (counts + both ends of the BWT
+     * slice). Used by the mlp batch engines to overlap the DRAM
+     * latency of the next pipeline round with current compute; a
+     * no-op for correctness and invisible to the Probe model.
+     */
+    void
+    prefetchOcc(u64 i) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        const u64 block_idx = blockIndex(i);
+        __builtin_prefetch(&counts_[block_idx * kAlphabet], 0, 1);
+        const u8* base = &bwt_[block_idx * block_len_];
+        __builtin_prefetch(base, 0, 1);
+        __builtin_prefetch(base + block_len_ - 1, 0, 1);
+#else
+        (void)i;
+#endif
+    }
+
+    /**
+     * occ counts at both ends of an interval (lo <= hi) with one call:
+     * probe traffic is exactly occAll(lo) followed by occAll(hi), but
+     * when both positions fall in the same checkpoint block — the
+     * common case once an interval has narrowed — the shared prefix
+     * [block start, lo) is scanned once and hi's counts continue
+     * incrementally from lo's. Used by the gb::mlp batch engines.
+     */
+    template <typename Probe>
+    void
+    occAllPair(u64 lo, u64 hi, std::array<u64, kAlphabet>& out_lo,
+               std::array<u64, kAlphabet>& out_hi, Probe& probe) const
+    {
+        const u64 block_lo = blockIndex(lo);
+        const u32* counts_lo = &counts_[block_lo * kAlphabet];
+        probe.load(counts_lo, kAlphabet * sizeof(u32));
+        for (u32 c = 0; c < kAlphabet; ++c) out_lo[c] = counts_lo[c];
+        const u64 base_lo = block_lo * block_len_;
+        const u32 rem_lo = static_cast<u32>(lo - base_lo);
+        if (rem_lo) {
+            probe.load(&bwt_[base_lo], rem_lo);
+            scanOcc(&bwt_[base_lo], rem_lo, out_lo.data());
+        }
+        probe.op(OpClass::kIntAlu, 12);
+
+        const u64 block_hi = blockIndex(hi);
+        const u32* counts_hi = &counts_[block_hi * kAlphabet];
+        probe.load(counts_hi, kAlphabet * sizeof(u32));
+        const u64 base_hi = block_hi * block_len_;
+        const u32 rem_hi = static_cast<u32>(hi - base_hi);
+        if (block_hi == block_lo) {
+            out_hi = out_lo;
+            if (rem_hi) {
+                probe.load(&bwt_[base_hi], rem_hi);
+                if (rem_hi > rem_lo) {
+                    scanOcc(&bwt_[base_lo + rem_lo], rem_hi - rem_lo,
+                            out_hi.data());
+                }
+            }
+        } else {
+            for (u32 c = 0; c < kAlphabet; ++c) {
+                out_hi[c] = counts_hi[c];
+            }
+            if (rem_hi) {
+                probe.load(&bwt_[base_hi], rem_hi);
+                scanOcc(&bwt_[base_hi], rem_hi, out_hi.data());
+            }
+        }
+        probe.op(OpClass::kIntAlu, 12);
     }
 
     /**
@@ -193,29 +272,25 @@ class FmIndex
     {
         const auto occ_lo = occAll(ik.k, probe);
         const auto occ_hi = occAll(ik.k + ik.s, probe);
+        backwardFromOcc(ik, occ_lo, occ_hi, out, probe);
+    }
 
-        std::array<u64, 4> size{};
-        u64 acgt_total = 0;
-        for (u32 b = 0; b < 4; ++b) {
-            size[b] = occ_hi[b + 2] - occ_lo[b + 2];
-            acgt_total += size[b];
-        }
-        const u64 s_rem = ik.s - acgt_total; // sentinel/separator hits
-
-        // l-interval order inside [l, l+s): first the non-ACGT
-        // continuations, then rc(P)x for x = A < C < G < T, whose
-        // sizes equal size[comp(x)]. Hence for new char c:
-        // l' = l + s_rem + sum_{y > c} size[y].
-        u64 suffix_sum = 0;
-        probe.op(OpClass::kIntAlu, 24);
-        for (i32 c = 3; c >= 0; --c) {
-            out[c].k = c_[c + 2] + occ_lo[c + 2];
-            out[c].s = size[c];
-            out[c].l = ik.l + s_rem + suffix_sum;
-            out[c].begin = ik.begin;
-            out[c].end = ik.end;
-            suffix_sum += size[c];
-        }
+    /**
+     * extendBackward resolving both occ lookups through occAllPair:
+     * identical result and probe traffic, fewer scanned bytes when the
+     * interval sits inside one checkpoint block. The batch engines'
+     * flavor (see gb::mlp).
+     */
+    template <typename Probe>
+    void
+    extendBackwardFused(const BiInterval& ik,
+                        std::array<BiInterval, 4>& out,
+                        Probe& probe) const
+    {
+        std::array<u64, kAlphabet> occ_lo;
+        std::array<u64, kAlphabet> occ_hi;
+        occAllPair(ik.k, ik.k + ik.s, occ_lo, occ_hi, probe);
+        backwardFromOcc(ik, occ_lo, occ_hi, out, probe);
     }
 
     /**
@@ -235,6 +310,73 @@ class FmIndex
             out[c] = tmp[3 - c]; // extension by c = rc-extension by comp
             std::swap(out[c].k, out[c].l);
         }
+    }
+
+    /** extendForward on top of the fused occ pair (see gb::mlp). */
+    template <typename Probe>
+    void
+    extendForwardFused(const BiInterval& ik,
+                       std::array<BiInterval, 4>& out,
+                       Probe& probe) const
+    {
+        BiInterval swapped = ik;
+        std::swap(swapped.k, swapped.l);
+        std::array<BiInterval, 4> tmp;
+        extendBackwardFused(swapped, tmp, probe);
+        for (u32 c = 0; c < 4; ++c) {
+            out[c] = tmp[3 - c];
+            std::swap(out[c].k, out[c].l);
+        }
+    }
+
+    /**
+     * Fused backward extension of only the base-`c` continuation:
+     * the result equals extendBackward()'s out[c]. The gb::mlp
+     * engines consume exactly one continuation per step, so skipping
+     * the other three intervals is pure compute savings; the modeled
+     * probe traffic is unchanged (the occ lookups are identical and
+     * the extension arithmetic is charged at the scalar path's rate —
+     * all four continuation sizes must be resolved anyway for `l`).
+     */
+    template <typename Probe>
+    BiInterval
+    extendBackwardOneFused(const BiInterval& ik, u8 c,
+                           Probe& probe) const
+    {
+        std::array<u64, kAlphabet> occ_lo;
+        std::array<u64, kAlphabet> occ_hi;
+        occAllPair(ik.k, ik.k + ik.s, occ_lo, occ_hi, probe);
+        std::array<u64, 4> size;
+        u64 acgt_total = 0;
+        for (u32 b = 0; b < 4; ++b) {
+            size[b] = occ_hi[b + 2] - occ_lo[b + 2];
+            acgt_total += size[b];
+        }
+        const u64 s_rem = ik.s - acgt_total;
+        u64 suffix_sum = 0;
+        for (u32 y = c + 1u; y < 4; ++y) suffix_sum += size[y];
+        probe.op(OpClass::kIntAlu, 24);
+        BiInterval out;
+        out.k = c_[c + 2] + occ_lo[c + 2];
+        out.s = size[c];
+        out.l = ik.l + s_rem + suffix_sum;
+        out.begin = ik.begin;
+        out.end = ik.end;
+        return out;
+    }
+
+    /** Forward counterpart of extendBackwardOneFused (swap trick). */
+    template <typename Probe>
+    BiInterval
+    extendForwardOneFused(const BiInterval& ik, u8 c,
+                          Probe& probe) const
+    {
+        BiInterval swapped = ik;
+        std::swap(swapped.k, swapped.l);
+        BiInterval out = extendBackwardOneFused(
+            swapped, static_cast<u8>(3 - c), probe);
+        std::swap(out.k, out.l);
+        return out;
     }
 
     /**
@@ -380,6 +522,74 @@ class FmIndex
                             u64 max_hits = 0) const;
 
   private:
+    /**
+     * Checkpoint block of BWT position i. block_len_ is a power of
+     * two in every shipped layout, so the common case is a shift; the
+     * division only runs for exotic spacings (e.g. the 448-symbol
+     * ablation point).
+     */
+    u64
+    blockIndex(u64 i) const
+    {
+        if ((block_len_ & (block_len_ - 1)) == 0) {
+            return i >> std::countr_zero(block_len_);
+        }
+        return i / block_len_;
+    }
+
+    /**
+     * Dispatched SIMD count of the partial-block bytes [p, p + len)
+     * into counts[0..5]. Uses the in-place padded counter whenever the
+     * chunk-rounded read stays inside the BWT span — every block but
+     * possibly the final one — and falls back to the staging-copy
+     * variant at the BWT's edge (mmap-backed views may end exactly at
+     * the mapping boundary). Identical results either way.
+     */
+    void
+    scanOcc(const u8* p, u32 len, u64* counts) const
+    {
+        const u32 padded =
+            (len + (simd::kOccPad - 1)) & ~(simd::kOccPad - 1);
+        if (padded <= bwt_.data() + bwt_.size() - p) {
+            simd::occCountPadded(p, len, counts);
+        } else {
+            simd::occCount(p, len, counts);
+        }
+    }
+
+    /** Shared tail of the backward extension: interval arithmetic
+     *  from the two occ vectors (Li 2012, bwt_extend). */
+    template <typename Probe>
+    void
+    backwardFromOcc(const BiInterval& ik,
+                    const std::array<u64, kAlphabet>& occ_lo,
+                    const std::array<u64, kAlphabet>& occ_hi,
+                    std::array<BiInterval, 4>& out, Probe& probe) const
+    {
+        std::array<u64, 4> size{};
+        u64 acgt_total = 0;
+        for (u32 b = 0; b < 4; ++b) {
+            size[b] = occ_hi[b + 2] - occ_lo[b + 2];
+            acgt_total += size[b];
+        }
+        const u64 s_rem = ik.s - acgt_total; // sentinel/separator hits
+
+        // l-interval order inside [l, l+s): first the non-ACGT
+        // continuations, then rc(P)x for x = A < C < G < T, whose
+        // sizes equal size[comp(x)]. Hence for new char c:
+        // l' = l + s_rem + sum_{y > c} size[y].
+        u64 suffix_sum = 0;
+        probe.op(OpClass::kIntAlu, 24);
+        for (i32 c = 3; c >= 0; --c) {
+            out[c].k = c_[c + 2] + occ_lo[c + 2];
+            out[c].s = size[c];
+            out[c].l = ik.l + s_rem + suffix_sum;
+            out[c].begin = ik.begin;
+            out[c].end = ik.end;
+            suffix_sum += size[c];
+        }
+    }
+
     /** occ for one symbol, no probe (used by locate's LF walk). */
     u64 occOne(u8 symbol, u64 i) const;
 

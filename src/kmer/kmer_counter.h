@@ -110,6 +110,36 @@ class KmerCounter
     /** Current count of `kmer` (0 if absent). */
     u16 count(u64 kmer) const;
 
+    /** Default prefetch distance for addBatch (see docs/mlp.md). */
+    static constexpr u32 kDefaultLookahead = 8;
+
+    /**
+     * Prefetch-pipelined bulk insertion: insert kmers in order while
+     * running `lookahead` entries ahead of the insertion point and
+     * prefetching each upcoming ideal slot, so the DRAM latency of one
+     * insert overlaps the hashing/compare work of the next ones (the
+     * optimization the paper proposes for kmer-cnt: "the k-mers to be
+     * inserted into the hash table are known a priori").
+     *
+     * Table contents and probe traffic are identical to calling add()
+     * in a loop — prefetches are hints, invisible to the model. A
+     * lookahead of 0 disables prefetching. Shared by the kmer-cnt
+     * kernel's --engine=simd path and the kmer-prefetch ablation.
+     */
+    template <typename Probe>
+    void
+    addBatch(std::span<const u64> kmers, Probe& probe,
+             u32 lookahead = kDefaultLookahead)
+    {
+        const size_t n = kmers.size();
+        for (size_t i = 0; i < n; ++i) {
+            if (lookahead != 0 && i + lookahead < n) {
+                prefetch(kmers[i + lookahead]);
+            }
+            add(kmers[i], probe);
+        }
+    }
+
     /** Prefetch the ideal slot of `kmer` into the cache hierarchy. */
     void
     prefetch(u64 kmer) const
@@ -227,18 +257,17 @@ countKmers(std::span<const std::vector<u8>> reads, u32 k,
 /**
  * Software-prefetching variant of the kmer-cnt kernel.
  *
- * Implements the optimization the paper proposes for kmer-cnt's
- * memory stalls: "the k-mers to be inserted into the hash table are
- * known a priori", so the kernel runs `lookahead` k-mers ahead of the
- * insertion point and issues a prefetch for each upcoming slot,
- * overlapping the DRAM latency of one insert with the computation of
- * the next ones. Counts are identical to countKmers().
+ * Stages each read's canonical k-mers into a window and inserts them
+ * through KmerCounter::addBatch — the shared prefetch-pipelined
+ * implementation behind the kernel's --engine=simd path and the
+ * kmer-prefetch ablation bench. Counts and modeled probe traffic are
+ * identical to countKmers().
  */
 template <typename Probe>
 KmerCountStats
 countKmersPrefetch(std::span<const std::vector<u8>> reads, u32 k,
                    KmerCounter& counter, Probe& probe,
-                   u32 lookahead = 8)
+                   u32 lookahead = KmerCounter::kDefaultLookahead)
 {
     KmerCountStats stats;
     std::vector<u64> window;
@@ -247,16 +276,11 @@ countKmersPrefetch(std::span<const std::vector<u8>> reads, u32 k,
         window.clear();
         forEachKmer(std::span<const u8>(read), k,
                     [&](u64 kmer, u64) {
+                        probe.op(OpClass::kIntAlu, 6); // roll + canon
                         window.push_back(canonicalKmer(kmer, k));
                     });
-        for (size_t i = 0; i < window.size(); ++i) {
-            if (i + lookahead < window.size()) {
-                counter.prefetch(window[i + lookahead]);
-            }
-            probe.op(OpClass::kIntAlu, 6);
-            counter.add(window[i], probe);
-            ++stats.total_kmers;
-        }
+        counter.addBatch(window, probe, lookahead);
+        stats.total_kmers += window.size();
     }
     stats.distinct_kmers = counter.size();
     stats.probe_steps = counter.probeSteps();

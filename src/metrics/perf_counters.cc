@@ -51,7 +51,7 @@ constexpr EventSpec kEvents[] = {
 };
 
 int
-openEvent(const EventSpec& spec)
+openEvent(const EventSpec& spec, int group_fd)
 {
     perf_event_attr attr;
     std::memset(&attr, 0, sizeof attr);
@@ -63,39 +63,26 @@ openEvent(const EventSpec& spec)
     // container default) and matches what the kernels themselves cost.
     attr.exclude_kernel = 1;
     attr.exclude_hv = 1;
-    attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
-                       PERF_FORMAT_TOTAL_TIME_RUNNING;
-    return static_cast<int>(syscall(SYS_perf_event_open, &attr,
-                                    /*pid=*/0, /*cpu=*/-1,
-                                    /*group_fd=*/-1, /*flags=*/0UL));
-}
-
-/** Counter value scaled for kernel multiplexing, or -1. */
-double
-readScaled(int fd)
-{
-    if (fd < 0) return -1.0;
-    struct
-    {
-        u64 value;
-        u64 time_enabled;
-        u64 time_running;
-    } data{};
-    if (read(fd, &data, sizeof data) != sizeof data) return -1.0;
-    if (data.time_running == 0) {
-        return data.value == 0 ? -1.0 : static_cast<double>(data.value);
+    // Only the leader is read; its group read returns every member's
+    // value plus one shared enabled/running pair for scaling.
+    if (group_fd < 0) {
+        attr.read_format = PERF_FORMAT_GROUP |
+                           PERF_FORMAT_TOTAL_TIME_ENABLED |
+                           PERF_FORMAT_TOTAL_TIME_RUNNING;
     }
-    return static_cast<double>(data.value) *
-           (static_cast<double>(data.time_enabled) /
-            static_cast<double>(data.time_running));
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1, group_fd,
+                                    /*flags=*/0UL));
 }
 
 } // namespace
 
 PerfCounters::PerfCounters()
 {
+    // Cycles leads the group; members join it so the PMU schedules
+    // (and multiplexes) all five events as one unit.
     for (int i = 0; i < kNumEvents; ++i) {
-        fds_[i] = openEvent(kEvents[i]);
+        fds_[i] = openEvent(kEvents[i], i == 0 ? -1 : fds_[0]);
         if (fds_[i] < 0 && i < 2) {
             // cycles/instructions are the spine; without them the
             // sample is useless, so report the first failure and bail.
@@ -105,8 +92,10 @@ PerfCounters::PerfCounters()
                 close(fds_[j]);
                 fds_[j] = -1;
             }
+            n_open_ = 0;
             return;
         }
+        if (fds_[i] >= 0) group_slot_[i] = n_open_++;
     }
     available_ = true;
 }
@@ -121,11 +110,9 @@ PerfCounters::~PerfCounters()
 void
 PerfCounters::start()
 {
-    for (int fd : fds_) {
-        if (fd < 0) continue;
-        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
-        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
-    }
+    if (fds_[0] < 0) return;
+    ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
 }
 
 PerfSample
@@ -136,15 +123,40 @@ PerfCounters::stop()
         sample.unavailable_reason = reason_;
         return sample;
     }
-    for (int fd : fds_) {
-        if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    ioctl(fds_[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+    // One atomic read of the whole group:
+    // { nr, time_enabled, time_running, value[nr] }.
+    u64 buf[3 + kNumEvents] = {};
+    const ssize_t want =
+        static_cast<ssize_t>((3 + n_open_) * sizeof(u64));
+    if (read(fds_[0], buf, sizeof buf) != want ||
+        buf[0] != static_cast<u64>(n_open_)) {
+        sample.unavailable_reason = "perf group read failed";
+        return sample;
     }
+    const u64 time_enabled = buf[1];
+    const u64 time_running = buf[2];
+
+    auto scaled = [&](int event) -> double {
+        const int slot = group_slot_[event];
+        if (slot < 0) return -1.0;
+        const u64 value = buf[3 + slot];
+        if (time_running == 0) {
+            // Group never scheduled: only trust nonzero raw values.
+            return value == 0 ? -1.0 : static_cast<double>(value);
+        }
+        return static_cast<double>(value) *
+               (static_cast<double>(time_enabled) /
+                static_cast<double>(time_running));
+    };
+
     sample.available = true;
-    sample.cycles = readScaled(fds_[0]);
-    sample.instructions = readScaled(fds_[1]);
-    sample.llc_misses = readScaled(fds_[2]);
-    sample.branch_misses = readScaled(fds_[3]);
-    const double task_clock_ns = readScaled(fds_[4]);
+    sample.cycles = scaled(0);
+    sample.instructions = scaled(1);
+    sample.llc_misses = scaled(2);
+    sample.branch_misses = scaled(3);
+    const double task_clock_ns = scaled(4);
     sample.task_clock_seconds =
         task_clock_ns >= 0.0 ? task_clock_ns * 1e-9 : -1.0;
     return sample;

@@ -55,8 +55,13 @@ struct PerfSample
 
 /**
  * RAII bundle of perf fds for the calling thread: cycles,
- * instructions, LLC-misses, branch-misses, task-clock. Counters the
- * kernel multiplexes are scaled by time_enabled/time_running.
+ * instructions, LLC-misses, branch-misses, task-clock, opened as one
+ * event group led by cycles (PERF_FORMAT_GROUP). All members are
+ * scheduled onto the PMU together and stop() reads the whole group
+ * atomically in a single syscall, so every counter in a sample covers
+ * the same instruction stream — ratios like IPC and misses/kilo-inst
+ * are internally consistent. Counters the kernel multiplexes share
+ * one time_enabled/time_running scale factor.
  */
 class PerfCounters
 {
@@ -82,6 +87,9 @@ class PerfCounters
   private:
     static constexpr int kNumEvents = 5;
     int fds_[kNumEvents] = {-1, -1, -1, -1, -1};
+    /** Event's slot in the group read's value array (-1: not open). */
+    int group_slot_[kNumEvents] = {-1, -1, -1, -1, -1};
+    int n_open_ = 0;
     bool available_ = false;
     std::string reason_;
 };

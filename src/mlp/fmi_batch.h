@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Batched, prefetch-pipelined FM-index search (the fmi kernel's
+ * --engine=simd path).
+ *
+ * Both engines run up to `width` independent queries in round-robin
+ * lockstep. Each scheduler visit advances one query by a short burst
+ * of extensions (kFmiBurst) with the query's state staged in locals;
+ * at the end of the burst the next occ addresses are handed to
+ * FmIndex::prefetchOcc, so by the time the scheduler rotates back
+ * (width-1 visits of other-query compute later) the checkpoint blocks
+ * are usually in cache. This converts the scalar path's one-miss-at-
+ * a-time dependency chain into ~2*width concurrent DRAM streams —
+ * memory-level parallelism — without changing any result.
+ *
+ * Equivalence contract (enforced by tests/test_mlp.cc):
+ *  - searchBatch()[q] == FmIndex::count(pattern q) for every query.
+ *  - smemsBatch() output[q] == FmIndex::smems(read q): identical
+ *    Smems in identical order.
+ *  - Probe traffic (loads, bytes, op classes, branches) equals the
+ *    scalar path's, summed over the batch: the engines reorder work
+ *    across queries but issue the same probe calls per query, so the
+ *    modeled cache/DRAM figures are unchanged.
+ */
+#ifndef GB_MLP_FMI_BATCH_H
+#define GB_MLP_FMI_BATCH_H
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "index/fm_index.h"
+#include "io/dna.h"
+#include "mlp/mlp.h"
+#include "util/common.h"
+
+namespace gb::mlp {
+
+/**
+ * Scalar reference for one exact backward-search count over 2-bit
+ * codes. Same result as FmIndex::count on the decoded string, except
+ * that an empty pattern counts 0 instead of throwing (a batch may
+ * legitimately contain empty queries). Ambiguous codes (>= 4) give 0.
+ */
+template <typename Probe>
+u64
+countEncoded(const FmIndex& fm, std::span<const u8> codes, Probe& probe)
+{
+    if (codes.empty()) return 0;
+    for (u8 c : codes) {
+        if (c >= kNumBases) return 0;
+    }
+    std::array<BiInterval, 4> ok;
+    BiInterval ik = fm.baseInterval(codes.back());
+    for (i64 i = static_cast<i64>(codes.size()) - 2; i >= 0 && ik.s;
+         --i) {
+        fm.extendBackward(ik, ok, probe);
+        ik = ok[codes[i]];
+    }
+    return ik.s;
+}
+
+/**
+ * Count every pattern's occurrences (countEncoded semantics) with up
+ * to `width` searches in flight.
+ */
+template <typename Probe>
+std::vector<u64>
+searchBatch(const FmIndex& fm, std::span<const std::vector<u8>> patterns,
+            Probe& probe, u32 width = kDefaultFmiWidth)
+{
+    checkWidth(width);
+    std::vector<u64> out(patterns.size(), 0);
+
+    struct State
+    {
+        u32 q = 0;   ///< pattern index
+        i64 i = 0;   ///< next code position to extend by
+        BiInterval ik;
+    };
+    std::vector<State> live;
+    live.reserve(std::min<size_t>(width, patterns.size()));
+    size_t next = 0;
+
+    // Admit the next pattern that actually needs extensions; trivial
+    // ones (empty, ambiguous, single-base, empty seed interval) are
+    // resolved inline, exactly as the scalar path resolves them
+    // without touching the occ table.
+    auto admit = [&]() -> bool {
+        while (next < patterns.size()) {
+            const u32 q = static_cast<u32>(next++);
+            const std::vector<u8>& codes = patterns[q];
+            bool ambiguous = codes.empty();
+            for (u8 c : codes) {
+                if (c >= kNumBases) {
+                    ambiguous = true;
+                    break;
+                }
+            }
+            if (ambiguous) continue; // out[q] stays 0
+            State st;
+            st.q = q;
+            st.ik = fm.baseInterval(codes.back());
+            st.i = static_cast<i64>(codes.size()) - 2;
+            if (st.i < 0 || st.ik.s == 0) {
+                out[q] = st.ik.s;
+                continue;
+            }
+            fm.prefetchOcc(st.ik.k);
+            fm.prefetchOcc(st.ik.k + st.ik.s);
+            live.push_back(st);
+            return true;
+        }
+        return false;
+    };
+
+    while (live.size() < width && admit()) {}
+
+    size_t r = 0;
+    while (!live.empty()) {
+        if (r >= live.size()) r = 0;
+        State& st = live[r];
+        const std::vector<u8>& codes = patterns[st.q];
+        // Advance this query by a burst of extensions with its state
+        // in locals (registers), then store back once (see kFmiBurst).
+        BiInterval ik = st.ik;
+        i64 i = st.i;
+        bool done = false;
+        for (u32 b = 0; b < kFmiBurst; ++b) {
+            ik = fm.extendBackwardOneFused(ik, codes[i], probe);
+            --i;
+            if (i < 0 || ik.s == 0) {
+                done = true;
+                break;
+            }
+        }
+        if (done) {
+            out[st.q] = ik.s;
+            live[r] = live.back();
+            live.pop_back();
+            admit(); // keep the pipeline full
+        } else {
+            st.ik = ik;
+            st.i = i;
+            // Cover the next visit's first extension.
+            fm.prefetchOcc(ik.k);
+            fm.prefetchOcc(ik.k + ik.s);
+            ++r;
+        }
+    }
+    return out;
+}
+
+/**
+ * Resumable per-read SMEM search: FmIndex::smems unrolled into a
+ * state machine whose step() performs a bounded burst of extensions,
+ * so smemsBatch can interleave many reads.
+ *
+ * The control flow mirrors smemsAt/smems line for line — every
+ * probe.branch/op/load the scalar code issues is issued here, in the
+ * same per-read order — which is what makes the batch engine
+ * bit-identical in both results and modeled traffic.
+ */
+class SmemTask
+{
+  public:
+    /**
+     * Bind the task to a read. Returns true when the read finished
+     * immediately (empty or all-ambiguous: `out` is final).
+     */
+    bool
+    start(const FmIndex& fm, std::span<const u8> query, i32 min_len,
+          std::vector<Smem>* out)
+    {
+        fm_ = &fm;
+        query_ = query;
+        min_len_ = min_len;
+        out_ = out;
+        len_ = static_cast<i32>(query.size());
+        x_ = 0;
+        all_.clear();
+        return seedNext();
+    }
+
+    /**
+     * Advance by up to kFmiBurst extensions. Returns true when the
+     * read is done.
+     */
+    template <typename Probe>
+    bool
+    step(Probe& probe)
+    {
+        if (phase_ == Phase::kForward) {
+            stepForward(probe);
+            return false;
+        }
+        return stepBackward(probe);
+    }
+
+  private:
+    enum class Phase { kForward, kBackward };
+
+    // smemsAt's forward loop, up to kFmiBurst iterations per visit.
+    // The loop state lives in locals so it survives in registers
+    // across the opaque dispatched occ calls; the task-state traffic
+    // is paid once per burst instead of once per extension.
+    template <typename Probe>
+    void
+    stepForward(Probe& probe)
+    {
+        BiInterval ik = ik_;
+        i32 i = i_;
+        for (u32 b = 0; b < kFmiBurst; ++b) {
+            if (i >= len_) { // ran off the read: longest match found
+                curr_.push_back(ik);
+                backwardSetup();
+                return;
+            }
+            probe.branch(0, query_[i] < 4);
+            if (query_[i] >= 4) { // ambiguous base stops the extension
+                curr_.push_back(ik);
+                backwardSetup();
+                return;
+            }
+            const BiInterval ext =
+                fm_->extendForwardOneFused(ik, query_[i], probe);
+            probe.branch(1, ext.s != ik.s);
+            if (ext.s != ik.s) {
+                curr_.push_back(ik);
+                if (ext.s < min_intv_) {
+                    backwardSetup();
+                    return;
+                }
+            }
+            ik = ext;
+            ik.end = i + 1;
+            ++i;
+        }
+        ik_ = ik;
+        i_ = i;
+        if (i < len_ && query_[i] < 4) {
+            // Cover the next visit's first extension (occ at l, l+s).
+            fm_->prefetchOcc(ik.l);
+            fm_->prefetchOcc(ik.l + ik.s);
+        }
+    }
+
+    // smemsAt's backward loop, up to kFmiBurst candidate extensions
+    // per visit (crossing round boundaries), locals as in stepForward.
+    template <typename Probe>
+    bool
+    stepBackward(Probe& probe)
+    {
+        size_t cand = cand_;
+        i32 i = i_;
+        i32 c = c_;
+        for (u32 b = 0; b < kFmiBurst; ++b) {
+            const BiInterval& p = prev_[cand];
+            BiInterval ext{};
+            if (c >= 0) {
+                ext = fm_->extendBackwardOneFused(
+                    p, static_cast<u8>(c), probe);
+            }
+            const bool fail = c < 0 || ext.s < min_intv_;
+            probe.branch(2, fail);
+            if (fail) {
+                // p cannot be extended: it is an SMEM unless a longer
+                // candidate already produced one here.
+                if (curr_.empty() &&
+                    (all_.size() == mems_before_ ||
+                     i + 1 < all_.back().begin)) {
+                    Smem m = p;
+                    m.begin = i + 1;
+                    all_.push_back(m);
+                }
+            } else if (curr_.empty() || ext.s != curr_.back().s) {
+                // ext already carries p's begin/end.
+                curr_.push_back(ext);
+            }
+            ++cand;
+            if (cand == prev_.size()) {
+                // Round complete.
+                if (curr_.empty()) { // no candidate survived: done
+                    std::reverse(
+                        all_.begin() + static_cast<i64>(mems_before_),
+                        all_.end());
+                    x_ = ret_;
+                    // seedNext() reinitializes the task state (or
+                    // finishes the read); the locals are dead.
+                    return seedNext();
+                }
+                std::swap(curr_, prev_);
+                curr_.clear();
+                cand = 0;
+                --i;
+                c = i < 0 ? -1 : (query_[i] < 4 ? query_[i] : -1);
+            }
+        }
+        cand_ = cand;
+        i_ = i;
+        c_ = c;
+        if (c >= 0) {
+            // Cover the next visit's first candidate.
+            const BiInterval& nx = prev_[cand];
+            fm_->prefetchOcc(nx.k);
+            fm_->prefetchOcc(nx.k + nx.s);
+        }
+        return false;
+    }
+
+    // Advance to the next pivot with a real base, or finish the read
+    // (filter all_ by min_len into out_). Returns true when done.
+    bool
+    seedNext()
+    {
+        for (;;) {
+            if (x_ >= len_) {
+                for (const Smem& m : all_) {
+                    if (m.length() >= min_len_) out_->push_back(m);
+                }
+                return true;
+            }
+            if (query_[x_] >= 4) { // smemsAt returns x + 1
+                ++x_;
+                continue;
+            }
+            ik_ = fm_->baseInterval(query_[x_]);
+            ik_.begin = x_;
+            ik_.end = x_ + 1;
+            curr_.clear();
+            i_ = x_ + 1;
+            phase_ = Phase::kForward;
+            if (i_ < len_ && query_[i_] < 4) {
+                fm_->prefetchOcc(ik_.l);
+                fm_->prefetchOcc(ik_.l + ik_.s);
+            }
+            return false;
+        }
+    }
+
+    // Transition from forward extension to collective backward
+    // extension of the recorded candidates.
+    void
+    backwardSetup()
+    {
+        // Longer matches (smaller intervals) first.
+        std::reverse(curr_.begin(), curr_.end());
+        ret_ = curr_.front().end;
+        std::swap(curr_, prev_);
+        curr_.clear();
+        mems_before_ = all_.size();
+        cand_ = 0;
+        i_ = x_ - 1;
+        c_ = i_ < 0 ? -1 : (query_[i_] < 4 ? query_[i_] : -1);
+        phase_ = Phase::kBackward;
+        if (c_ >= 0) {
+            fm_->prefetchOcc(prev_[0].k);
+            fm_->prefetchOcc(prev_[0].k + prev_[0].s);
+        }
+    }
+
+    const FmIndex* fm_ = nullptr;
+    std::span<const u8> query_;
+    std::vector<Smem>* out_ = nullptr;
+    i32 min_len_ = 0;
+    i32 len_ = 0;
+    i32 x_ = 0;   ///< current pivot
+    i32 ret_ = 0; ///< next pivot (end of longest match through x_)
+    i32 i_ = 0;   ///< query position being extended
+    i32 c_ = -1;  ///< backward extension code (-1: none)
+    u64 min_intv_ = 1;
+    Phase phase_ = Phase::kForward;
+    BiInterval ik_;
+    std::vector<BiInterval> prev_;
+    std::vector<BiInterval> curr_;
+    std::vector<Smem> all_; ///< SMEMs of this read, pre-filter
+    size_t cand_ = 0;
+    size_t mems_before_ = 0;
+};
+
+/**
+ * SMEMs of every read (FmIndex::smems semantics, min_intv 1) with up
+ * to `width` reads in flight. out[q] receives read q's SMEMs of at
+ * least `min_len` bases, identical to the scalar path.
+ */
+template <typename Probe>
+void
+smemsBatch(const FmIndex& fm, std::span<const std::vector<u8>> reads,
+           i32 min_len, std::vector<std::vector<Smem>>& out,
+           Probe& probe, u32 width = kDefaultFmiWidth)
+{
+    checkWidth(width);
+    out.assign(reads.size(), {});
+
+    std::vector<SmemTask> live;
+    live.reserve(std::min<size_t>(width, reads.size()));
+    size_t next = 0;
+
+    // Bind `task` to the next read that needs index work; reads that
+    // finish inside start() are completed on the spot.
+    auto admitInto = [&](SmemTask& task) -> bool {
+        while (next < reads.size()) {
+            const size_t q = next++;
+            if (!task.start(fm, reads[q], min_len, &out[q])) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    while (live.size() < width) {
+        SmemTask task;
+        if (!admitInto(task)) break;
+        live.push_back(std::move(task));
+    }
+
+    size_t r = 0;
+    while (!live.empty()) {
+        if (r >= live.size()) r = 0;
+        if (live[r].step(probe)) {
+            // Reuse the finished task's storage for the next read.
+            if (!admitInto(live[r])) {
+                live[r] = std::move(live.back());
+                live.pop_back();
+            }
+        } else {
+            ++r;
+        }
+    }
+}
+
+} // namespace gb::mlp
+
+#endif // GB_MLP_FMI_BATCH_H

@@ -1,0 +1,11 @@
+#include "mlp/mlp.h"
+
+namespace gb::mlp {
+
+void
+checkWidth(u32 width)
+{
+    requireInput(width >= 1, "mlp: pipeline width must be >= 1");
+}
+
+} // namespace gb::mlp

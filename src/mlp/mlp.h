@@ -1,0 +1,62 @@
+/**
+ * @file
+ * gb::mlp — memory-level-parallelism engine for memory-bound kernels.
+ *
+ * The paper's memory-bound kernels (fmi, kmer-cnt) spend most of
+ * their time stalled on irregular DRAM accesses: each FM-index
+ * extension touches two essentially random occ checkpoint blocks, and
+ * each k-mer insertion touches a random hash slot. A single in-order
+ * dependency chain exposes only one such miss at a time. This module
+ * restructures the work — without changing any result — so that N
+ * independent queries advance in software-pipelined lockstep: after a
+ * query's next memory addresses become known, they are prefetched
+ * immediately, and the other N-1 queries' compute overlaps the fetch.
+ *
+ * Engines (see fmi_batch.h and KmerCounter::addBatch):
+ *  - searchBatch(): batched exact backward search, bit-identical to
+ *    FmIndex::count per query.
+ *  - smemsBatch(): batched SMEM search, bit-identical to
+ *    FmIndex::smems per read (same Smems, same order).
+ *  - KmerCounter::addBatch(): prefetch-pipelined hash insertion,
+ *    shared by the kmer-cnt kernel's --engine=simd path and the
+ *    kmer-prefetch ablation bench.
+ *
+ * All engines are templated on the Probe policy and issue exactly the
+ * same probe.load/op/branch calls as their scalar counterparts, so
+ * modeled traffic (Figures 6/8) is preserved; prefetches are hints
+ * only and invisible to the model.
+ */
+#ifndef GB_MLP_MLP_H
+#define GB_MLP_MLP_H
+
+#include "util/common.h"
+
+namespace gb::mlp {
+
+/**
+ * Default number of queries kept in flight by the batched FM-index
+ * engines. Two occ blocks per extension x 16 queries ≈ 32 concurrent
+ * cache-line streams, comfortably under typical LFB/MSHR limits while
+ * giving each prefetch a full pipeline round to land (docs/mlp.md).
+ */
+inline constexpr u32 kDefaultFmiWidth = 16;
+
+/**
+ * Extensions a query advances by per scheduler visit. Task state is
+ * staged into locals for the burst, so the load/store of pipeline
+ * state around the (opaque, runtime-dispatched) occ calls is paid once
+ * per burst instead of once per extension. The trade-off: only the
+ * first extension of each burst has had a full rotation for its
+ * prefetch to land — consecutive extensions within a burst are a
+ * dependent chain. Larger bursts favor cache-resident indexes (less
+ * scheduling overhead); burst 1 maximizes latency hiding when the occ
+ * table lives in DRAM (docs/mlp.md).
+ */
+inline constexpr u32 kFmiBurst = 16;
+
+/** Validate a pipeline width (throws InputError when 0). */
+void checkWidth(u32 width);
+
+} // namespace gb::mlp
+
+#endif // GB_MLP_MLP_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dispatch layer for the occ partial-block counter: portable byte-loop
+ * fallback plus the function-pointer table over the per-ISA
+ * implementations (occ_engine_sse4.cc / occ_engine_avx2.cc).
+ */
+#include "simd/occ_engine.h"
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd {
+
+void
+occCountScalar(const u8* bytes, u32 len, u64* counts)
+{
+    for (u32 j = 0; j < len; ++j) ++counts[bytes[j]];
+}
+
+OccCountFn
+occCountFor(SimdLevel level)
+{
+    switch (level) {
+#if GB_SIMD_HAVE_X86
+      case SimdLevel::kAvx2: return detail::occCountAvx2;
+      case SimdLevel::kSse4: return detail::occCountSse4;
+#else
+      case SimdLevel::kAvx2:
+      case SimdLevel::kSse4:
+#endif
+      case SimdLevel::kScalar: break;
+    }
+    return occCountScalar;
+}
+
+OccCountFn
+occCountPaddedFor(SimdLevel level)
+{
+    switch (level) {
+#if GB_SIMD_HAVE_X86
+      case SimdLevel::kAvx2: return detail::occCountPaddedAvx2;
+      case SimdLevel::kSse4: return detail::occCountPaddedSse4;
+#else
+      case SimdLevel::kAvx2:
+      case SimdLevel::kSse4:
+#endif
+      case SimdLevel::kScalar: break;
+    }
+    // The byte loop never reads past len: padding is a no-op.
+    return occCountScalar;
+}
+
+} // namespace gb::simd

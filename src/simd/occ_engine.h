@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SIMD partial-block occ counting for the FM-index (the fmi engine's
+ * innermost primitive).
+ *
+ * FmIndex::occAll() resolves a rank query as checkpoint counts plus a
+ * scan of the partial BWT block [base, i). The portable scan is a
+ * byte loop with a store-to-load dependent histogram increment — the
+ * exact scalar-resolution cost BWA-MEM2 avoids with vectorized
+ * popcounts. occCount() is that vectorized resolution: the block
+ * bytes (symbol codes 0..5) are decomposed into three bit planes via
+ * movemask, and each symbol's occurrence count is the popcount of the
+ * plane-mask intersection selecting its 3-bit code.
+ *
+ * Dispatch follows the bsw/phmm engine pattern: per-ISA translation
+ * units compiled with their own -m flags, selected at runtime from
+ * gb::simd::activeSimdLevel(), with the portable byte loop as the
+ * always-available fallback. Every level returns identical counts
+ * (integer counting is exact), so occAll() is bit-identical to the
+ * scalar path at any GB_SIMD_LEVEL.
+ */
+#ifndef GB_SIMD_OCC_ENGINE_H
+#define GB_SIMD_OCC_ENGINE_H
+
+#include "simd/simd.h"
+#include "util/common.h"
+
+namespace gb::simd {
+
+/**
+ * Add the number of occurrences of each symbol 0..5 in bytes[0, len)
+ * to counts[0..5]. Bytes must be valid symbol codes (< 6).
+ */
+using OccCountFn = void (*)(const u8* bytes, u32 len, u64* counts);
+
+/**
+ * Read-padding granularity of occCountPadded(): the caller must
+ * guarantee bytes[0, roundUp(len, kOccPad)) is readable (the counted
+ * range is still exactly [0, len); the pad lanes are masked out).
+ */
+inline constexpr u32 kOccPad = 32;
+
+/** Portable byte-loop fallback (the pre-engine occAll scan). */
+void occCountScalar(const u8* bytes, u32 len, u64* counts);
+
+/** Implementation for a dispatch level (clamped to CPU support). */
+OccCountFn occCountFor(SimdLevel level);
+
+/**
+ * Like occCountFor(), but the returned function counts the tail chunk
+ * in place under a live-lane mask instead of staging it through a
+ * zeroed buffer — the hot-path variant for occ blocks that sit fully
+ * inside the BWT (see kOccPad for the read-padding contract).
+ */
+OccCountFn occCountPaddedFor(SimdLevel level);
+
+/** Count with the active dispatch level's implementation. */
+inline void
+occCount(const u8* bytes, u32 len, u64* counts)
+{
+    occCountFor(activeSimdLevel())(bytes, len, counts);
+}
+
+/** Padded-read counterpart of occCount() (see kOccPad). */
+inline void
+occCountPadded(const u8* bytes, u32 len, u64* counts)
+{
+    occCountPaddedFor(activeSimdLevel())(bytes, len, counts);
+}
+
+} // namespace gb::simd
+
+#endif // GB_SIMD_OCC_ENGINE_H

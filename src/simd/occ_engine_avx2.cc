@@ -1,0 +1,21 @@
+/** AVX2 instantiation of the occ partial-block counter. */
+#define GB_SIMD_TARGET_AVX2 1
+#include "simd/occ_engine_impl.h"
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd::detail {
+
+void
+occCountAvx2(const u8* bytes, u32 len, u64* counts)
+{
+    occCountImpl<false>(bytes, len, counts);
+}
+
+void
+occCountPaddedAvx2(const u8* bytes, u32 len, u64* counts)
+{
+    occCountImpl<true>(bytes, len, counts);
+}
+
+} // namespace gb::simd::detail

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ISA-generic implementation of the occ partial-block counter.
+ *
+ * Included by occ_engine_sse4.cc / occ_engine_avx2.cc with exactly one
+ * of GB_SIMD_TARGET_SSE4 / GB_SIMD_TARGET_AVX2 defined (the vec.h
+ * multi-include convention). The symbol histogram is computed with the
+ * popcount-over-bit-planes scheme:
+ *
+ *   1. Load a register of BWT bytes (values 0..5).
+ *   2. Extract the three bit planes as movemask words: shifting the
+ *      16-bit lanes left by (7 - k) parks bit k of every byte in that
+ *      byte's sign position without cross-byte contamination (only
+ *      bits 0..2 are populated), so movemask yields one bit per byte.
+ *   3. Each symbol s is the conjunction of its three plane masks
+ *      (plane k taken directly if bit k of s is set, complemented
+ *      otherwise); its count in the chunk is one popcount.
+ *
+ * The tail is staged through a zero-filled register-sized buffer and
+ * counted under a live-lane mask, so the function never reads past
+ * bytes[len) — safe for mmap-backed index views whose BWT span ends
+ * exactly at the mapping.
+ */
+#if !defined(GB_SIMD_TARGET_SSE4) && !defined(GB_SIMD_TARGET_AVX2)
+#error "occ_engine_impl.h requires a GB_SIMD_TARGET_* definition"
+#endif
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "util/common.h"
+
+namespace gb::simd {
+
+namespace {
+
+#if defined(GB_SIMD_TARGET_AVX2)
+inline constexpr u32 kOccChunk = 32;
+inline constexpr u32 kOccFullMask = 0xffffffffu;
+
+/** Bit-k planes of 32 bytes as 32-bit movemask words. */
+inline void
+occPlanes(const u8* p, u32& m0, u32& m1, u32& m2)
+{
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    m0 = static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(v, 7)));
+    m1 = static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(v, 6)));
+    m2 = static_cast<u32>(
+        _mm256_movemask_epi8(_mm256_slli_epi16(v, 5)));
+}
+#elif defined(GB_SIMD_TARGET_SSE4)
+inline constexpr u32 kOccChunk = 16;
+inline constexpr u32 kOccFullMask = 0xffffu;
+
+inline void
+occPlanes(const u8* p, u32& m0, u32& m1, u32& m2)
+{
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    m0 = static_cast<u32>(_mm_movemask_epi8(_mm_slli_epi16(v, 7)));
+    m1 = static_cast<u32>(_mm_movemask_epi8(_mm_slli_epi16(v, 6)));
+    m2 = static_cast<u32>(_mm_movemask_epi8(_mm_slli_epi16(v, 5)));
+}
+#endif
+
+/** Accumulate the six symbol counts of one plane triple. */
+inline void
+occAccumulate(u32 m0, u32 m1, u32 m2, u32 live, u64* counts)
+{
+    for (u32 sym = 0; sym < 6; ++sym) {
+        const u32 hit = (sym & 1 ? m0 : ~m0) & (sym & 2 ? m1 : ~m1) &
+                        (sym & 4 ? m2 : ~m2) & live;
+        counts[sym] += static_cast<u64>(__builtin_popcount(hit));
+    }
+}
+
+/**
+ * kPadded: the caller guarantees bytes[0, roundUp(len, kOccPad)) is
+ * readable, so the tail chunk is loaded in place and counted under a
+ * live-lane mask — no staging copy. Out-of-range lanes hold arbitrary
+ * (readable) data and are masked out, so the counts are identical.
+ */
+template <bool kPadded>
+inline void
+occCountImpl(const u8* bytes, u32 len, u64* counts)
+{
+    u32 off = 0;
+    u32 m0;
+    u32 m1;
+    u32 m2;
+    for (; off + kOccChunk <= len; off += kOccChunk) {
+        occPlanes(bytes + off, m0, m1, m2);
+        occAccumulate(m0, m1, m2, kOccFullMask, counts);
+    }
+    if (off < len) {
+        const u32 rem = len - off;
+        if constexpr (kPadded) {
+            occPlanes(bytes + off, m0, m1, m2);
+        } else {
+            alignas(kOccChunk) u8 tail[kOccChunk] = {};
+            std::memcpy(tail, bytes + off, rem);
+            occPlanes(tail, m0, m1, m2);
+        }
+        occAccumulate(m0, m1, m2, (u32{1} << rem) - 1, counts);
+    }
+}
+
+} // namespace
+
+} // namespace gb::simd

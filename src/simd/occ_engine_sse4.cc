@@ -1,0 +1,21 @@
+/** SSE4.2 instantiation of the occ partial-block counter. */
+#define GB_SIMD_TARGET_SSE4 1
+#include "simd/occ_engine_impl.h"
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd::detail {
+
+void
+occCountSse4(const u8* bytes, u32 len, u64* counts)
+{
+    occCountImpl<false>(bytes, len, counts);
+}
+
+void
+occCountPaddedSse4(const u8* bytes, u32 len, u64* counts)
+{
+    occCountImpl<true>(bytes, len, counts);
+}
+
+} // namespace gb::simd::detail

@@ -491,5 +491,35 @@ TEST(FmIndex, OccBlocksAreCompact)
     EXPECT_LE(fm.occBytes(), (2 * 4096 + 2 + 128) / 64 * 88 + 88);
 }
 
+TEST(FmIndex, OccAllBlockAlignedChargesExactlyOneAccess)
+{
+    Rng rng(89);
+    const std::string ref = randomDna(rng, 1000);
+    const FmIndex fm = FmIndex::build(ref);
+    const u32 block = fm.blockLen();
+
+    // A block-aligned position resolves entirely from the checkpoint:
+    // exactly one probe access (the counts), zero BWT bytes.
+    CountingProbe aligned;
+    fm.occAll(u64{2} * block, aligned);
+    EXPECT_EQ(aligned.counts()[OpClass::kLoad], 1u);
+    EXPECT_EQ(aligned.loadBytes(), FmIndex::kAlphabet * sizeof(u32));
+
+    // An unaligned position adds one BWT access of `rem` bytes.
+    CountingProbe unaligned;
+    fm.occAll(u64{2} * block + 5, unaligned);
+    EXPECT_EQ(unaligned.counts()[OpClass::kLoad], 2u);
+    EXPECT_EQ(unaligned.loadBytes(),
+              FmIndex::kAlphabet * sizeof(u32) + 5);
+
+    // Both must agree with a plain byte count from block start.
+    const auto at = fm.occAll(u64{2} * block + 5, unaligned);
+    auto expect = fm.occAll(u64{2} * block, unaligned);
+    for (u64 j = 2 * block; j < 2 * block + 5; ++j) {
+        ++expect[fm.bwtData()[j]];
+    }
+    EXPECT_EQ(at, expect);
+}
+
 } // namespace
 } // namespace gb

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * gb::mlp equivalence tests: the batched, prefetch-pipelined engines
+ * (searchBatch, smemsBatch, KmerCounter::addBatch) and the SIMD occ
+ * counter must be bit-identical to their scalar counterparts — in
+ * results AND in modeled probe traffic — at every dispatch level.
+ */
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/probe.h"
+#include "index/fm_index.h"
+#include "io/dna.h"
+#include "kmer/kmer_counter.h"
+#include "mlp/fmi_batch.h"
+#include "mlp/mlp.h"
+#include "simd/occ_engine.h"
+#include "simd/simd.h"
+#include "util/rng.h"
+
+namespace gb {
+namespace {
+
+/** Restores automatic dispatch when a test forces a level. */
+struct LevelGuard
+{
+    ~LevelGuard() { simd::resetSimdLevel(); }
+};
+
+/** Levels this host can actually execute (always includes scalar). */
+std::vector<simd::SimdLevel>
+testableLevels()
+{
+    std::vector<simd::SimdLevel> levels{simd::SimdLevel::kScalar};
+    const simd::SimdLevel best = simd::detectSimdLevel();
+    if (best >= simd::SimdLevel::kSse4) {
+        levels.push_back(simd::SimdLevel::kSse4);
+    }
+    if (best >= simd::SimdLevel::kAvx2) {
+        levels.push_back(simd::SimdLevel::kAvx2);
+    }
+    return levels;
+}
+
+std::string
+randomDna(Rng& rng, u64 len)
+{
+    std::string s(len, 'A');
+    for (auto& c : s) c = "ACGT"[rng.below(4)];
+    return s;
+}
+
+/** Encoded read sampled from ref with mutations and occasional Ns. */
+std::vector<u8>
+sampleRead(Rng& rng, const std::string& ref, u64 min_len, u64 max_len)
+{
+    const u64 len = min_len + rng.below(max_len - min_len + 1);
+    const u64 start = rng.below(ref.size() - len);
+    std::string s = ref.substr(start, len);
+    const u64 edits = rng.below(4);
+    for (u64 e = 0; e < edits; ++e) {
+        s[rng.below(s.size())] = "ACGTN"[rng.below(5)];
+    }
+    if (rng.chance(0.25)) s[rng.below(s.size())] = 'N';
+    return encodeDna(s);
+}
+
+// ---------------------------------------------------------------- occ
+
+TEST(OccEngine, MatchesScalarOnRandomBuffers)
+{
+    Rng rng(42);
+    for (const simd::SimdLevel level : testableLevels()) {
+        LevelGuard guard;
+        simd::setSimdLevel(level);
+        const auto fn = simd::occCountFor(simd::activeSimdLevel());
+        for (int iter = 0; iter < 400; ++iter) {
+            const u32 len = static_cast<u32>(rng.below(520));
+            std::vector<u8> bytes(len + 1); // +1: len==0 needs data()
+            for (u32 j = 0; j < len; ++j) {
+                bytes[j] = static_cast<u8>(rng.below(6));
+            }
+            u64 want[FmIndex::kAlphabet] = {7, 0, 3, 0, 0, 11};
+            u64 got[FmIndex::kAlphabet] = {7, 0, 3, 0, 0, 11};
+            simd::occCountScalar(bytes.data(), len, want);
+            fn(bytes.data(), len, got);
+            for (u32 c = 0; c < FmIndex::kAlphabet; ++c) {
+                ASSERT_EQ(got[c], want[c])
+                    << "level=" << simd::simdLevelName(level)
+                    << " len=" << len << " sym=" << c;
+            }
+        }
+    }
+}
+
+TEST(OccEngine, CountsAccumulateOnTopOfExistingValues)
+{
+    const u8 bytes[] = {0, 1, 2, 3, 4, 5, 2, 2};
+    for (const simd::SimdLevel level : testableLevels()) {
+        u64 counts[FmIndex::kAlphabet] = {100, 0, 50, 0, 0, 9};
+        simd::occCountFor(level)(bytes, 8, counts);
+        EXPECT_EQ(counts[0], 101u);
+        EXPECT_EQ(counts[1], 1u);
+        EXPECT_EQ(counts[2], 53u);
+        EXPECT_EQ(counts[3], 1u);
+        EXPECT_EQ(counts[4], 1u);
+        EXPECT_EQ(counts[5], 10u);
+    }
+}
+
+// -------------------------------------------------------- searchBatch
+
+TEST(SearchBatch, MatchesScalarCountAtEveryLevelAndWidth)
+{
+    Rng rng(7);
+    const std::string ref = randomDna(rng, 2000);
+    const FmIndex fm = FmIndex::build(ref);
+
+    std::vector<std::vector<u8>> patterns;
+    std::vector<std::string> texts;
+    for (int i = 0; i < 1200; ++i) {
+        std::string p;
+        if (i % 3 == 0) {
+            p = randomDna(rng, 1 + rng.below(24));
+        } else {
+            const u64 len = 4 + rng.below(40);
+            const u64 start = rng.below(ref.size() - len);
+            p = ref.substr(start, len);
+            if (rng.chance(0.1)) p[rng.below(p.size())] = 'N';
+        }
+        texts.push_back(p);
+        patterns.push_back(encodeDna(p));
+    }
+    patterns.push_back({}); // empty query counts 0
+    texts.push_back("");
+
+    std::vector<u64> want(patterns.size());
+    for (size_t q = 0; q < patterns.size(); ++q) {
+        NullProbe probe;
+        want[q] = mlp::countEncoded(
+            fm, std::span<const u8>(patterns[q]), probe);
+        if (!texts[q].empty()) {
+            ASSERT_EQ(want[q], fm.count(texts[q])) << texts[q];
+        }
+    }
+
+    for (const simd::SimdLevel level : testableLevels()) {
+        LevelGuard guard;
+        simd::setSimdLevel(level);
+        for (const u32 width : {1u, 3u, 16u, 64u}) {
+            NullProbe probe;
+            const auto got = mlp::searchBatch(
+                fm, std::span<const std::vector<u8>>(patterns), probe,
+                width);
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t q = 0; q < want.size(); ++q) {
+                ASSERT_EQ(got[q], want[q])
+                    << "level=" << simd::simdLevelName(level)
+                    << " width=" << width << " pattern=" << texts[q];
+            }
+        }
+    }
+}
+
+TEST(SearchBatch, EmptyBatchAndZeroWidth)
+{
+    Rng rng(8);
+    const FmIndex fm = FmIndex::build(randomDna(rng, 300));
+    NullProbe probe;
+    EXPECT_TRUE(
+        mlp::searchBatch(fm, std::span<const std::vector<u8>>(), probe)
+            .empty());
+    std::vector<std::vector<u8>> one{encodeDna("ACGT")};
+    EXPECT_THROW(mlp::searchBatch(
+                     fm, std::span<const std::vector<u8>>(one), probe,
+                     0),
+                 InputError);
+}
+
+TEST(SearchBatch, ProbeTrafficEqualsScalar)
+{
+    Rng rng(9);
+    const std::string ref = randomDna(rng, 1500);
+    const FmIndex fm = FmIndex::build(ref);
+    std::vector<std::vector<u8>> patterns;
+    for (int i = 0; i < 300; ++i) {
+        const u64 len = 3 + rng.below(30);
+        const u64 start = rng.below(ref.size() - len);
+        patterns.push_back(encodeDna(ref.substr(start, len)));
+    }
+
+    CountingProbe scalar;
+    for (const auto& p : patterns) {
+        mlp::countEncoded(fm, std::span<const u8>(p), scalar);
+    }
+    CountingProbe batched;
+    mlp::searchBatch(fm, std::span<const std::vector<u8>>(patterns),
+                     batched, 16);
+
+    for (size_t c = 0; c < kNumOpClasses; ++c) {
+        EXPECT_EQ(batched.counts().by_class[c],
+                  scalar.counts().by_class[c])
+            << opClassName(static_cast<OpClass>(c));
+    }
+    EXPECT_EQ(batched.loadBytes(), scalar.loadBytes());
+    EXPECT_EQ(batched.storeBytes(), scalar.storeBytes());
+}
+
+// --------------------------------------------------------- smemsBatch
+
+TEST(SmemsBatch, MatchesScalarSmemsAtEveryLevelAndWidth)
+{
+    Rng rng(11);
+    const std::string ref = randomDna(rng, 3000);
+    const FmIndex fm = FmIndex::build(ref);
+
+    std::vector<std::vector<u8>> reads;
+    for (int i = 0; i < 1000; ++i) {
+        reads.push_back(sampleRead(rng, ref, 25, 120));
+    }
+    reads.push_back({});                  // empty read
+    reads.push_back(encodeDna("NNNNNN")); // all-ambiguous read
+    reads.push_back(encodeDna("AC"));     // shorter than min_len
+
+    const i32 min_len = 19;
+    std::vector<std::vector<Smem>> want(reads.size());
+    for (size_t q = 0; q < reads.size(); ++q) {
+        NullProbe probe;
+        fm.smems(std::span<const u8>(reads[q]), min_len, want[q],
+                 probe);
+    }
+
+    for (const simd::SimdLevel level : testableLevels()) {
+        LevelGuard guard;
+        simd::setSimdLevel(level);
+        for (const u32 width : {1u, 5u, 16u, 33u}) {
+            NullProbe probe;
+            std::vector<std::vector<Smem>> got;
+            mlp::smemsBatch(fm,
+                            std::span<const std::vector<u8>>(reads),
+                            min_len, got, probe, width);
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t q = 0; q < want.size(); ++q) {
+                ASSERT_EQ(got[q].size(), want[q].size())
+                    << "level=" << simd::simdLevelName(level)
+                    << " width=" << width << " read=" << q;
+                for (size_t m = 0; m < want[q].size(); ++m) {
+                    EXPECT_EQ(got[q][m].k, want[q][m].k);
+                    EXPECT_EQ(got[q][m].l, want[q][m].l);
+                    EXPECT_EQ(got[q][m].s, want[q][m].s);
+                    EXPECT_EQ(got[q][m].begin, want[q][m].begin);
+                    EXPECT_EQ(got[q][m].end, want[q][m].end);
+                }
+            }
+        }
+    }
+}
+
+TEST(SmemsBatch, EmptyBatchAndZeroWidth)
+{
+    Rng rng(12);
+    const FmIndex fm = FmIndex::build(randomDna(rng, 300));
+    NullProbe probe;
+    std::vector<std::vector<Smem>> out{{}, {}};
+    mlp::smemsBatch(fm, std::span<const std::vector<u8>>(), 19, out,
+                    probe);
+    EXPECT_TRUE(out.empty()); // resized to the (empty) batch
+    std::vector<std::vector<u8>> one{encodeDna("ACGTACGTACGT")};
+    EXPECT_THROW(
+        mlp::smemsBatch(fm, std::span<const std::vector<u8>>(one), 5,
+                        out, probe, 0),
+        InputError);
+}
+
+TEST(SmemsBatch, ProbeTrafficEqualsScalar)
+{
+    Rng rng(13);
+    const std::string ref = randomDna(rng, 2000);
+    const FmIndex fm = FmIndex::build(ref);
+    std::vector<std::vector<u8>> reads;
+    for (int i = 0; i < 200; ++i) {
+        reads.push_back(sampleRead(rng, ref, 30, 100));
+    }
+
+    CountingProbe scalar;
+    std::vector<Smem> sink;
+    for (const auto& r : reads) {
+        fm.smems(std::span<const u8>(r), 19, sink, scalar);
+    }
+
+    CountingProbe batched;
+    std::vector<std::vector<Smem>> out;
+    mlp::smemsBatch(fm, std::span<const std::vector<u8>>(reads), 19,
+                    out, batched, 16);
+
+    for (size_t c = 0; c < kNumOpClasses; ++c) {
+        EXPECT_EQ(batched.counts().by_class[c],
+                  scalar.counts().by_class[c])
+            << opClassName(static_cast<OpClass>(c));
+    }
+    EXPECT_EQ(batched.loadBytes(), scalar.loadBytes());
+    EXPECT_EQ(batched.storeBytes(), scalar.storeBytes());
+}
+
+// ----------------------------------------------------------- addBatch
+
+TEST(AddBatch, TableAndTrafficIdenticalToSequentialAdd)
+{
+    Rng rng(21);
+    std::vector<u64> kmers;
+    for (int i = 0; i < 5000; ++i) {
+        // Narrow key space so duplicates and collisions occur.
+        kmers.push_back(rng.below(700));
+    }
+
+    for (const HashScheme scheme :
+         {HashScheme::kLinear, HashScheme::kRobinHood}) {
+        KmerCounter want(11, scheme);
+        CountingProbe want_probe;
+        for (const u64 k : kmers) want.add(k, want_probe);
+
+        for (const u32 lookahead : {0u, 1u, 8u, 64u}) {
+            KmerCounter got(11, scheme);
+            CountingProbe got_probe;
+            got.addBatch(std::span<const u64>(kmers), got_probe,
+                         lookahead);
+            ASSERT_EQ(got.size(), want.size());
+            ASSERT_EQ(got.probeSteps(), want.probeSteps());
+            want.forEachEntry([&](u64 key, u16 cnt) {
+                ASSERT_EQ(got.count(key), cnt)
+                    << "lookahead=" << lookahead;
+            });
+            for (size_t c = 0; c < kNumOpClasses; ++c) {
+                EXPECT_EQ(got_probe.counts().by_class[c],
+                          want_probe.counts().by_class[c])
+                    << opClassName(static_cast<OpClass>(c));
+            }
+            EXPECT_EQ(got_probe.loadBytes(), want_probe.loadBytes());
+            EXPECT_EQ(got_probe.storeBytes(), want_probe.storeBytes());
+        }
+    }
+}
+
+TEST(AddBatch, SmallAndEmptyBatches)
+{
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{17}}) {
+        KmerCounter counter(8, HashScheme::kRobinHood);
+        NullProbe probe;
+        std::vector<u64> kmers(n, 5);
+        counter.addBatch(std::span<const u64>(kmers), probe);
+        EXPECT_EQ(counter.size(), n ? 1u : 0u);
+        EXPECT_EQ(counter.count(5), n);
+    }
+}
+
+TEST(CountKmersPrefetch, SharedPathMatchesCountKmers)
+{
+    Rng rng(23);
+    const std::string ref = randomDna(rng, 5000);
+    std::vector<std::vector<u8>> reads;
+    for (int i = 0; i < 40; ++i) {
+        reads.push_back(sampleRead(rng, ref, 60, 400));
+    }
+    const u32 k = 17;
+
+    KmerCounter plain(14, HashScheme::kRobinHood);
+    CountingProbe plain_probe;
+    const auto s0 = countKmers(
+        std::span<const std::vector<u8>>(reads), k, plain,
+        plain_probe);
+
+    KmerCounter pre(14, HashScheme::kRobinHood);
+    CountingProbe pre_probe;
+    const auto s1 = countKmersPrefetch(
+        std::span<const std::vector<u8>>(reads), k, pre, pre_probe);
+
+    EXPECT_EQ(s1.total_kmers, s0.total_kmers);
+    EXPECT_EQ(s1.distinct_kmers, s0.distinct_kmers);
+    EXPECT_EQ(s1.probe_steps, s0.probe_steps);
+    plain.forEachEntry(
+        [&](u64 key, u16 cnt) { ASSERT_EQ(pre.count(key), cnt); });
+    for (size_t c = 0; c < kNumOpClasses; ++c) {
+        EXPECT_EQ(pre_probe.counts().by_class[c],
+                  plain_probe.counts().by_class[c])
+            << opClassName(static_cast<OpClass>(c));
+    }
+    EXPECT_EQ(pre_probe.loadBytes(), plain_probe.loadBytes());
+    EXPECT_EQ(pre_probe.storeBytes(), plain_probe.storeBytes());
+}
+
+} // namespace
+} // namespace gb
