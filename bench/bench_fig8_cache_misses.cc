@@ -48,11 +48,13 @@ main(int argc, char** argv)
         const auto result = topDownAnalyze(probe.counts(), cache,
                                            probe.mispredicts());
 
-        // Measured run on one thread: calling-thread counters cover
-        // the whole kernel.
-        ThreadPool mono(1);
+        // Measured run at the requested thread count; per-rank counter
+        // groups are summed (PooledCounters) so the meas columns are
+        // whole-run totals, not rank 0's share.
+        ThreadPool pool(options.threads);
         kernel->setEngine(options.engine);
-        const auto sample = bench::timeRunSampled(*kernel, mono);
+        const auto sample =
+            bench::timeRunSampledPooled(*kernel, pool);
 
         table.newRow()
             .cell(name)

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "metrics/pooled_counters.h"
 #include "simd/simd.h"
 #include "store/cache.h"
 
@@ -202,6 +203,19 @@ timeRunSampled(Benchmark& kernel, ThreadPool& pool)
     counters.start();
     kernel.run(pool);
     sample.perf = counters.stop();
+    sample.seconds = timer.seconds();
+    return sample;
+}
+
+RunSample
+timeRunSampledPooled(Benchmark& kernel, ThreadPool& pool)
+{
+    RunSample sample;
+    metrics::PooledCounters counters(pool);
+    WallTimer timer;
+    counters.start();
+    kernel.run(pool);
+    sample.perf = counters.stopAggregate();
     sample.seconds = timer.seconds();
     return sample;
 }

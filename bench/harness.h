@@ -106,6 +106,14 @@ struct RunSample
 /** Time one full run() of a prepared kernel, sampling perf counters. */
 RunSample timeRunSampled(Benchmark& kernel, ThreadPool& pool);
 
+/**
+ * Like timeRunSampled(), but samples a counter group on every pool
+ * thread (metrics::PooledCounters) and returns the summed reading, so
+ * the counters describe the whole run at any thread count instead of
+ * rank 0's share.
+ */
+RunSample timeRunSampledPooled(Benchmark& kernel, ThreadPool& pool);
+
 /** Time one full run() of a prepared kernel. */
 double timeRun(Benchmark& kernel, ThreadPool& pool);
 

@@ -7,9 +7,10 @@
 # scripts/bench_compare.py), the mlp ablation benches (self-verifying),
 # a benchmark-baseline comparison against
 # baselines/gb-metrics-v1.tiny.json (tolerance via GB_BENCH_TOLERANCE,
-# percent), and an end-to-end artifact-cache smoke test (store build ->
+# percent), an end-to-end artifact-cache smoke test (store build ->
 # store verify -> warm bench run + corruption and bad-flag rejection
-# checks).
+# checks), and a gb::serve smoke test (8-job list through the
+# scheduler, JSON validated, single-flight prepare asserted).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -61,18 +62,21 @@ if [[ $SKIP_SAN -eq 0 ]]; then
 fi
 
 # ------------------------------------------------------- TSan build
-# The scheduler telemetry writes per-rank slots from worker threads;
-# TSan proves the thread-pool accounting and the metrics plumbing are
-# race-free.
+# The scheduler telemetry writes per-rank slots from worker threads,
+# and the gb::serve scheduler runs jobs on detached runner threads
+# over a shared worker budget; TSan proves the thread-pool accounting,
+# the metrics plumbing and the serving layer are race-free.
 if [[ $SKIP_SAN -eq 0 ]]; then
-    step "TSan: build + run thread-pool and metrics tests"
+    step "TSan: build + run thread-pool, metrics and serve tests"
     cmake -B build-tsan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
         >/dev/null
-    cmake --build build-tsan -j"$JOBS" --target test_util test_metrics
+    cmake --build build-tsan -j"$JOBS" --target test_util test_metrics \
+        test_serve
     ./build-tsan/tests/test_util --gtest_brief=1
     ./build-tsan/tests/test_metrics --gtest_brief=1
+    ./build-tsan/tests/test_serve --gtest_brief=1
 fi
 
 # ------------------------------------------------------- metrics smoke
@@ -146,6 +150,35 @@ if "$GB" store verify "$victim" >/dev/null 2>&1; then
     exit 1
 fi
 echo "corruption detected as expected"
+
+# ------------------------------------------------------ serve smoke
+# Run a small job list through the gb::serve scheduler against a fresh
+# cache: every job must complete, the JSON must validate, and the
+# single-flight cache must have collapsed the 8 concurrent fmi
+# prepares into exactly one artifact build.
+step "serve: 8-job list -> scheduler -> gb-metrics-v1 + dedup check"
+SERVE_CACHE=$(mktemp -d)
+SERVE_JOBS=$(mktemp)
+for _ in 1 2 3 4 5 6 7 8; do
+    echo "fmi size=tiny threads=1" >> "$SERVE_JOBS"
+done
+"$GB" serve --jobs="$SERVE_JOBS" --workers=4 \
+    --cache-dir="$SERVE_CACHE" --json=/tmp/gb_serve.json
+python3 scripts/bench_compare.py --self-check /tmp/gb_serve.json
+python3 - /tmp/gb_serve.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = [r for r in doc["rows"] if r["table"] == "serve_summary"]
+assert len(rows) == 1, f"expected 1 serve_summary row, got {len(rows)}"
+summary = rows[0]
+assert summary["completed"] == 8, summary
+assert summary["cache_builds"] == 1, \
+    f"single-flight violated: {summary['cache_builds']} builds"
+jobs = [r for r in doc["rows"] if r["table"] == "serve_job"]
+assert len(jobs) == 8 and all(j["status"] == "done" for j in jobs)
+print("serve smoke ok: 8/8 jobs done, 1 artifact build")
+EOF
+rm -rf "$SERVE_CACHE" "$SERVE_JOBS"
 
 # ------------------------------------------------- CLI error handling
 step "bench CLI: unknown flags are rejected"

@@ -47,6 +47,12 @@ Engine parseEngine(const std::string& name);
 /** Display name of an engine. */
 const char* engineName(Engine engine);
 
+/** Parse "tiny"/"small"/"large"; throws InputError otherwise. */
+DatasetSize parseDatasetSize(const std::string& name);
+
+/** Display name of a dataset size. */
+const char* datasetSizeName(DatasetSize size);
+
 /**
  * One suite kernel.
  *

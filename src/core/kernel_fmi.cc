@@ -68,38 +68,46 @@ class FmiKernel final : public Benchmark
                             .mix(102)
                             .mix(103)
                             .value();
-        const bool loaded = cache.load(
-            "fmi", key, [&](const auto& reader) {
+        // fetchOrBuild: under concurrent prepares of the same key
+        // (gb::serve), one caller generates, the rest block then load.
+        cache.fetchOrBuild(
+            "fmi", key,
+            [&](const auto& reader) {
                 fm_ = std::make_unique<FmIndex>(
                     store::viewFmIndex(reader));
                 reads_ = store::readByteRows(*reader, "reads");
+            },
+            [&] {
+                GenomeParams gp;
+                gp.length = genome_len;
+                gp.seed = 101;
+                const Genome genome = generateGenome(gp);
+                fm_ = std::make_unique<FmIndex>(
+                    FmIndex::build(genome.seq));
+
+                VariantParams vp;
+                vp.seed = 102;
+                const SampleGenome sample =
+                    injectVariants(genome.seq, vp);
+                ShortReadParams rp;
+                rp.seed = 103;
+                rp.coverage = static_cast<double>(num_reads) *
+                              rp.read_len /
+                              static_cast<double>(sample.seq.size());
+                reads_.clear();
+                for (const auto& read :
+                     simulateShortReads(sample.seq, rp)) {
+                    reads_.push_back(encodeDna(read.record.seq));
+                }
+
+                cache.write(
+                    "fmi", key, [&](store::StoreWriter& writer) {
+                        store::addFmIndex(writer, *fm_);
+                        store::addByteRows(
+                            writer, "reads",
+                            std::span<const std::vector<u8>>(reads_));
+                    });
             });
-        if (loaded) return;
-
-        GenomeParams gp;
-        gp.length = genome_len;
-        gp.seed = 101;
-        const Genome genome = generateGenome(gp);
-        fm_ = std::make_unique<FmIndex>(FmIndex::build(genome.seq));
-
-        VariantParams vp;
-        vp.seed = 102;
-        const SampleGenome sample = injectVariants(genome.seq, vp);
-        ShortReadParams rp;
-        rp.seed = 103;
-        rp.coverage = static_cast<double>(num_reads) * rp.read_len /
-                      static_cast<double>(sample.seq.size());
-        reads_.clear();
-        for (const auto& read : simulateShortReads(sample.seq, rp)) {
-            reads_.push_back(encodeDna(read.record.seq));
-        }
-
-        cache.write("fmi", key, [&](store::StoreWriter& writer) {
-            store::addFmIndex(writer, *fm_);
-            store::addByteRows(
-                writer, "reads",
-                std::span<const std::vector<u8>>(reads_));
-        });
     }
 
     u64

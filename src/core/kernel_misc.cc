@@ -70,31 +70,33 @@ class KmerCntKernel final : public Benchmark
                             .mix(181)
                             .mix(182)
                             .value();
-        const bool loaded = cache.load(
-            "kmer-reads", key, [&](const auto& reader) {
+        cache.fetchOrBuild(
+            "kmer-reads", key,
+            [&](const auto& reader) {
                 reads_ = store::readByteRows(*reader, "reads");
+            },
+            [&] {
+                GenomeParams gp;
+                gp.length = std::max<u64>(total_bases_ / 10, 50'000);
+                gp.seed = 181;
+                const Genome genome = generateGenome(gp);
+                LongReadParams lp;
+                lp.seed = 182;
+                lp.coverage = static_cast<double>(total_bases_) /
+                              static_cast<double>(genome.seq.size());
+                reads_.clear();
+                for (const auto& read :
+                     simulateLongReads(genome.seq, lp)) {
+                    reads_.push_back(encodeDna(read.record.seq));
+                }
+                cache.write(
+                    "kmer-reads", key,
+                    [&](store::StoreWriter& writer) {
+                        store::addByteRows(
+                            writer, "reads",
+                            std::span<const std::vector<u8>>(reads_));
+                    });
             });
-        if (!loaded) {
-            GenomeParams gp;
-            gp.length = std::max<u64>(total_bases_ / 10, 50'000);
-            gp.seed = 181;
-            const Genome genome = generateGenome(gp);
-            LongReadParams lp;
-            lp.seed = 182;
-            lp.coverage = static_cast<double>(total_bases_) /
-                          static_cast<double>(genome.seq.size());
-            reads_.clear();
-            for (const auto& read :
-                 simulateLongReads(genome.seq, lp)) {
-                reads_.push_back(encodeDna(read.record.seq));
-            }
-            cache.write(
-                "kmer-reads", key, [&](store::StoreWriter& writer) {
-                    store::addByteRows(
-                        writer, "reads",
-                        std::span<const std::vector<u8>>(reads_));
-                });
-        }
         // Read-batch tasks of ~16 reads for dynamic scheduling.
         batches_.clear();
         for (size_t begin = 0; begin < reads_.size(); begin += 16) {

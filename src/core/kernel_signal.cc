@@ -63,8 +63,9 @@ class AbeaKernel final : public Benchmark
                             .mix(163)
                             .mix(164)
                             .value();
-        const bool loaded = cache.load(
-            "abea", key, [&](const auto& reader) {
+        cache.fetchOrBuild(
+            "abea", key,
+            [&](const auto& reader) {
                 auto refs = store::readStringRows(*reader, "refs");
                 auto events = store::readEventRows(*reader, "events");
                 requireInput(refs.size() == events.size(),
@@ -75,46 +76,49 @@ class AbeaKernel final : public Benchmark
                     reads_.push_back(ReadTask{std::move(refs[r]),
                                               std::move(events[r])});
                 }
+            },
+            [&] {
+                GenomeParams gp;
+                gp.length = 200'000;
+                gp.seed = 162;
+                const Genome genome = generateGenome(gp);
+                Rng rng(163);
+
+                reads_.clear();
+                reads_.reserve(num_reads);
+                for (u64 r = 0; r < num_reads; ++r) {
+                    const u64 seg_len = 1000 + rng.below(2500);
+                    const u64 pos =
+                        rng.below(genome.seq.size() - seg_len - 1);
+                    ReadTask task;
+                    task.ref = genome.seq.substr(pos, seg_len);
+                    SignalParams sp;
+                    sp.seed = 164 + r;
+                    const SimSignal sim =
+                        simulateSignal(model_, task.ref, sp);
+                    task.events = detectEvents(sim.samples);
+                    reads_.push_back(std::move(task));
+                }
+
+                cache.write(
+                    "abea", key, [&](store::StoreWriter& writer) {
+                        std::vector<std::string> refs;
+                        std::vector<std::vector<Event>> events;
+                        refs.reserve(reads_.size());
+                        events.reserve(reads_.size());
+                        for (const ReadTask& task : reads_) {
+                            refs.push_back(task.ref);
+                            events.push_back(task.events);
+                        }
+                        store::addStringRows(
+                            writer, "refs",
+                            std::span<const std::string>(refs));
+                        store::addEventRows(
+                            writer, "events",
+                            std::span<const std::vector<Event>>(
+                                events));
+                    });
             });
-        if (loaded) return;
-
-        GenomeParams gp;
-        gp.length = 200'000;
-        gp.seed = 162;
-        const Genome genome = generateGenome(gp);
-        Rng rng(163);
-
-        reads_.clear();
-        reads_.reserve(num_reads);
-        for (u64 r = 0; r < num_reads; ++r) {
-            const u64 seg_len = 1000 + rng.below(2500);
-            const u64 pos =
-                rng.below(genome.seq.size() - seg_len - 1);
-            ReadTask task;
-            task.ref = genome.seq.substr(pos, seg_len);
-            SignalParams sp;
-            sp.seed = 164 + r;
-            const SimSignal sim =
-                simulateSignal(model_, task.ref, sp);
-            task.events = detectEvents(sim.samples);
-            reads_.push_back(std::move(task));
-        }
-
-        cache.write("abea", key, [&](store::StoreWriter& writer) {
-            std::vector<std::string> refs;
-            std::vector<std::vector<Event>> events;
-            refs.reserve(reads_.size());
-            events.reserve(reads_.size());
-            for (const ReadTask& task : reads_) {
-                refs.push_back(task.ref);
-                events.push_back(task.events);
-            }
-            store::addStringRows(writer, "refs",
-                                 std::span<const std::string>(refs));
-            store::addEventRows(
-                writer, "events",
-                std::span<const std::vector<Event>>(events));
-        });
     }
 
     u64

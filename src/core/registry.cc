@@ -48,6 +48,27 @@ engineName(Engine engine)
     return engine == Engine::kSimd ? "simd" : "scalar";
 }
 
+DatasetSize
+parseDatasetSize(const std::string& name)
+{
+    if (name == "tiny") return DatasetSize::kTiny;
+    if (name == "small") return DatasetSize::kSmall;
+    if (name == "large") return DatasetSize::kLarge;
+    throw InputError("unknown size: " + name +
+                     " (expected tiny, small or large)");
+}
+
+const char*
+datasetSizeName(DatasetSize size)
+{
+    switch (size) {
+      case DatasetSize::kTiny: return "tiny";
+      case DatasetSize::kSmall: return "small";
+      case DatasetSize::kLarge: return "large";
+    }
+    return "?";
+}
+
 std::vector<std::string>
 kernelNames()
 {

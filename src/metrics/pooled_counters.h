@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Whole-run hardware counters for multi-threaded ThreadPool work.
+ *
+ * PerfCounters fds are per-thread, so sampling around a parallel run
+ * from the caller only captures rank 0's share (ROADMAP open item).
+ * PooledCounters closes that gap: it opens one PerfCounters group on
+ * *every* pool thread (via ThreadPool::forEachThread, so each group is
+ * owned by the thread it counts), starts and stops them in lockstep
+ * around the measured region, and sums the per-rank readings into one
+ * aggregate PerfSample. Ratios derived from the aggregate (IPC,
+ * misses per kilo-instruction) then describe the whole run, not one
+ * rank's slice of it.
+ *
+ * The degradation contract matches PerfCounters: when any rank cannot
+ * open its group (perf_event_paranoid, seccomp, non-Linux), the
+ * aggregate is unavailable with that rank's reason, and callers print
+ * "n/a". Individual counters missing on any rank poison only that
+ * counter in the sum (it reports -1), never the whole sample.
+ */
+#ifndef GB_METRICS_POOLED_COUNTERS_H
+#define GB_METRICS_POOLED_COUNTERS_H
+
+#include <memory>
+#include <vector>
+
+#include "metrics/perf_counters.h"
+#include "util/thread_pool.h"
+
+namespace gb::metrics {
+
+class PooledCounters
+{
+  public:
+    /** Opens one counter group per pool thread, on that thread. */
+    explicit PooledCounters(ThreadPool& pool);
+
+    PooledCounters(const PooledCounters&) = delete;
+    PooledCounters& operator=(const PooledCounters&) = delete;
+
+    /** True when every rank's group opened. */
+    bool available() const { return available_; }
+
+    /** First failing rank's reason (empty when available()). */
+    const std::string& unavailableReason() const { return reason_; }
+
+    /** Reset and enable all ranks' counters (on their threads). */
+    void start();
+
+    /**
+     * Disable all ranks' counters and return the summed reading.
+     * Rank count is in `ranks` of the result for display.
+     */
+    PerfSample stopAggregate();
+
+    unsigned ranks() const
+    {
+        return static_cast<unsigned>(per_rank_.size());
+    }
+
+  private:
+    ThreadPool& pool_;
+    std::vector<std::unique_ptr<PerfCounters>> per_rank_;
+    bool available_ = false;
+    std::string reason_;
+};
+
+} // namespace gb::metrics
+
+#endif // GB_METRICS_POOLED_COUNTERS_H

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Bounded MPMC submission queue with admission control.
+ *
+ * The gb::serve Scheduler accepts jobs from any number of submitting
+ * threads and drains them from one dispatcher, but nothing here
+ * assumes a single consumer. Backpressure is explicit: when the queue
+ * is at capacity, tryPush() rejects with a reason instead of blocking
+ * the submitter — a serving layer must shed load it cannot absorb,
+ * not stall every caller behind it.
+ *
+ * popSelect() exists because dispatch is not plain FIFO: the
+ * scheduler's policy (FIFO + big-job aging, see scheduler.h) must
+ * inspect the pending items against the currently free worker budget.
+ * The selector runs under the queue lock and is re-evaluated whenever
+ * the queue changes or an external event calls notify() (e.g. workers
+ * freed by a finishing job).
+ */
+#ifndef GB_SERVE_BOUNDED_QUEUE_H
+#define GB_SERVE_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/common.h"
+
+namespace gb::serve {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** Selector result meaning "nothing dispatchable right now". */
+    static constexpr size_t kNone = static_cast<size_t>(-1);
+
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /**
+     * Admission control: enqueue `item`, or reject. Rejections set
+     * `reason` (when non-null) to why — queue at capacity or queue
+     * closed — and leave the queue untouched.
+     */
+    bool
+    tryPush(T item, std::string* reason = nullptr)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            if (reason) *reason = "queue closed (draining)";
+            return false;
+        }
+        if (items_.size() >= capacity_) {
+            if (reason) {
+                *reason = "queue full (depth " +
+                          std::to_string(capacity_) + ")";
+            }
+            return false;
+        }
+        items_.push_back(std::move(item));
+        cv_.notify_all();
+        return true;
+    }
+
+    /**
+     * Blocking selective pop. `select` sees the pending items (front =
+     * oldest) and returns the index to pop, or kNone to wait; it may
+     * mutate state reachable through the items (aging counters) but
+     * not the deque itself. Returns nullopt once the queue is closed
+     * and empty.
+     */
+    std::optional<T>
+    popSelect(const std::function<size_t(const std::deque<T>&)>& select)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (!items_.empty()) {
+                const size_t index = select(items_);
+                if (index != kNone) {
+                    T item = std::move(items_[index]);
+                    items_.erase(items_.begin() +
+                                 static_cast<ptrdiff_t>(index));
+                    return item;
+                }
+            } else if (closed_) {
+                return std::nullopt;
+            }
+            cv_.wait(lock);
+        }
+    }
+
+    /** Plain FIFO pop (popSelect with a take-the-head selector). */
+    std::optional<T>
+    pop()
+    {
+        return popSelect([](const std::deque<T>&) { return 0; });
+    }
+
+    /**
+     * Remove the first pending item matching `pred` (cancel-mid-queue).
+     * @return the removed item, or nullopt if none matched.
+     */
+    std::optional<T>
+    eraseIf(const std::function<bool(const T&)>& pred)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+            if (pred(*it)) {
+                T item = std::move(*it);
+                items_.erase(it);
+                cv_.notify_all();
+                return item;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Remove and return every pending item (shutdown). */
+    std::deque<T>
+    drainAll()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::deque<T> out;
+        out.swap(items_);
+        cv_.notify_all();
+        return out;
+    }
+
+    /** Stop admissions; pending items still pop. Idempotent. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        cv_.notify_all();
+    }
+
+    /** Wake blocked popSelect() callers to re-run their selector. */
+    void
+    notify()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cv_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace gb::serve
+
+#endif // GB_SERVE_BOUNDED_QUEUE_H

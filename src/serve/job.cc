@@ -1,0 +1,128 @@
+#include "serve/job.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace gb::serve {
+
+std::string
+JobSpec::describe() const
+{
+    std::ostringstream out;
+    out << kernel << " size=" << datasetSizeName(size)
+        << " engine=" << engineName(engine) << " t=" << threads << " x"
+        << repeats;
+    return out.str();
+}
+
+void
+validateSpec(const JobSpec& spec,
+             const std::vector<std::string>& known_kernels)
+{
+    requireInput(!spec.kernel.empty(), "job: missing kernel name");
+    requireInput(std::find(known_kernels.begin(), known_kernels.end(),
+                           spec.kernel) != known_kernels.end(),
+                 "job: unknown kernel: " + spec.kernel);
+    requireInput(spec.threads > 0,
+                 "job: threads must be >= 1 (" + spec.kernel + ")");
+    requireInput(spec.repeats > 0,
+                 "job: repeats must be >= 1 (" + spec.kernel + ")");
+}
+
+namespace {
+
+unsigned
+parseCount(const std::string& key, const std::string& value)
+{
+    try {
+        const unsigned long parsed = std::stoul(value);
+        requireInput(parsed > 0 && parsed <= 1'000'000,
+                     "job: " + key + " out of range: " + value);
+        return static_cast<unsigned>(parsed);
+    } catch (const InputError&) {
+        throw;
+    } catch (const std::exception&) {
+        throw InputError("job: bad " + key + " value: " + value);
+    }
+}
+
+} // namespace
+
+JobSpec
+parseJobLine(const std::string& line)
+{
+    std::istringstream tokens(line);
+    std::string token;
+    JobSpec spec;
+    bool have_kernel = false;
+    bool have_size = false, have_engine = false;
+    bool have_threads = false, have_repeats = false;
+    while (tokens >> token) {
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            requireInput(!have_kernel,
+                         "job: two kernel names on one line: '" +
+                             spec.kernel + "' and '" + token + "'");
+            spec.kernel = token;
+            have_kernel = true;
+            continue;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        requireInput(!value.empty(),
+                     "job: empty value for key: " + key);
+        if (key == "size") {
+            requireInput(!have_size, "job: duplicate key: size");
+            spec.size = parseDatasetSize(value);
+            have_size = true;
+        } else if (key == "engine") {
+            requireInput(!have_engine, "job: duplicate key: engine");
+            spec.engine = parseEngine(value);
+            have_engine = true;
+        } else if (key == "threads") {
+            requireInput(!have_threads, "job: duplicate key: threads");
+            spec.threads = parseCount(key, value);
+            have_threads = true;
+        } else if (key == "repeats") {
+            requireInput(!have_repeats, "job: duplicate key: repeats");
+            spec.repeats = parseCount(key, value);
+            have_repeats = true;
+        } else {
+            throw InputError(
+                "job: unknown key: " + key +
+                " (expected size, engine, threads or repeats)");
+        }
+    }
+    requireInput(have_kernel, "job: missing kernel name");
+    return spec;
+}
+
+std::vector<JobSpec>
+parseJobFile(const std::string& path)
+{
+    std::ifstream in(path);
+    requireInput(in.is_open(), "jobs: cannot open '" + path + "'");
+    std::vector<JobSpec> specs;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+            continue;
+        }
+        try {
+            specs.push_back(parseJobLine(line));
+        } catch (const InputError& e) {
+            throw InputError(path + ":" + std::to_string(lineno) +
+                             ": " + e.what());
+        }
+    }
+    requireInput(!specs.empty(),
+                 "jobs: no jobs in '" + path + "'");
+    return specs;
+}
+
+} // namespace gb::serve

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Job descriptions for the gb::serve scheduler.
+ *
+ * A JobSpec is one kernel-run request: which registry kernel, at what
+ * dataset size, on which engine, with how many worker threads and how
+ * many timed repeats. Specs arrive either programmatically
+ * (Scheduler::submit) or from a job file (`genomicsbench serve
+ * --jobs=FILE`), one job per line:
+ *
+ *   # comment / blank lines are skipped
+ *   fmi size=tiny threads=2 repeats=3
+ *   bsw size=small engine=simd
+ *   kmer-cnt                       # defaults: tiny, scalar, 1, 1
+ *
+ * Validation is strict and up-front: unknown kernels, keys, sizes or
+ * engines and zero thread/repeat counts are InputErrors at parse or
+ * submit time, never half-way through a run.
+ */
+#ifndef GB_SERVE_JOB_H
+#define GB_SERVE_JOB_H
+
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "util/common.h"
+
+namespace gb::serve {
+
+/** One kernel-run request. */
+struct JobSpec
+{
+    std::string kernel;  ///< registry kernel name (e.g. "fmi")
+    DatasetSize size = DatasetSize::kTiny;
+    Engine engine = Engine::kScalar;
+    unsigned threads = 1; ///< worker threads requested for this job
+    unsigned repeats = 1; ///< timed run() repeats
+
+    /** One-line display form ("fmi size=tiny engine=scalar t=2 x3"). */
+    std::string describe() const;
+};
+
+/**
+ * Validate `spec` against the set of known kernel names (normally
+ * kernelNames(); tests substitute their own). Throws InputError on an
+ * unknown kernel, threads == 0 or repeats == 0.
+ */
+void validateSpec(const JobSpec& spec,
+                  const std::vector<std::string>& known_kernels);
+
+/**
+ * Parse one job line: `<kernel> [size=S] [engine=E] [threads=N]
+ * [repeats=R]`, whitespace-separated, keys in any order. Throws
+ * InputError on malformed input (unknown key, duplicate key, bad
+ * value, missing kernel). Registry validation is separate
+ * (validateSpec) so the parser stays usable with test registries.
+ */
+JobSpec parseJobLine(const std::string& line);
+
+/**
+ * Parse a job file: one parseJobLine() per non-blank, non-`#` line.
+ * Throws InputError (with the 1-based line number) on any bad line,
+ * and on an unreadable or empty job list.
+ */
+std::vector<JobSpec> parseJobFile(const std::string& path);
+
+} // namespace gb::serve
+
+#endif // GB_SERVE_JOB_H

@@ -1,0 +1,374 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace gb::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+const char*
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::kQueued: return "queued";
+      case JobStatus::kRunning: return "running";
+      case JobStatus::kDone: return "done";
+      case JobStatus::kFailed: return "failed";
+      case JobStatus::kCancelled: return "cancelled";
+      case JobStatus::kRejected: return "rejected";
+    }
+    return "?";
+}
+
+bool
+jobStatusTerminal(JobStatus status)
+{
+    return status == JobStatus::kDone || status == JobStatus::kFailed ||
+           status == JobStatus::kCancelled ||
+           status == JobStatus::kRejected;
+}
+
+/**
+ * Shared job record. The handle and (while queued) the submission
+ * queue co-own it. `bypass_count` belongs to the dispatcher and is
+ * only touched under the queue lock (selectIndex); everything below
+ * `m` is guarded by it.
+ */
+struct JobState
+{
+    JobSpec spec;
+    Scheduler* owner = nullptr;
+    Clock::time_point submitted_at{};
+    unsigned bypass_count = 0;
+
+    mutable std::mutex m;
+    mutable std::condition_variable cv;
+    JobStatus status = JobStatus::kQueued;
+    std::string error;
+    JobMetrics metrics;
+};
+
+// ---------------------------------------------------------------------
+// JobHandle
+
+const JobSpec&
+JobHandle::spec() const
+{
+    return state_->spec;
+}
+
+JobStatus
+JobHandle::status() const
+{
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->status;
+}
+
+void
+JobHandle::wait() const
+{
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock,
+                    [&] { return jobStatusTerminal(state_->status); });
+}
+
+bool
+JobHandle::waitFor(double seconds) const
+{
+    std::unique_lock<std::mutex> lock(state_->m);
+    return state_->cv.wait_for(
+        lock, std::chrono::duration<double>(seconds),
+        [&] { return jobStatusTerminal(state_->status); });
+}
+
+bool
+JobHandle::cancel()
+{
+    return state_->owner->cancelJob(state_, "cancelled by caller");
+}
+
+JobMetrics
+JobHandle::metrics() const
+{
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->metrics;
+}
+
+std::string
+JobHandle::error() const
+{
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->error;
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+
+Scheduler::Scheduler(Config config)
+    : config_(std::move(config)),
+      workers_(config_.workers
+                   ? config_.workers
+                   : std::max(1u,
+                              std::thread::hardware_concurrency())),
+      queue_(std::max<size_t>(1, config_.queue_depth))
+{
+    if (!config_.kernel_factory) {
+        config_.kernel_factory = [](const std::string& name) {
+            return createKernel(name);
+        };
+    }
+    if (config_.kernels.empty()) config_.kernels = kernelNames();
+    free_workers_.store(workers_, std::memory_order_relaxed);
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    shutdownNow();
+}
+
+unsigned
+Scheduler::clampThreads(unsigned requested) const
+{
+    return std::min(std::max(1u, requested), workers_);
+}
+
+JobHandle
+Scheduler::submit(JobSpec spec)
+{
+    validateSpec(spec, config_.kernels);
+    auto job = std::make_shared<JobState>();
+    job->spec = std::move(spec);
+    job->owner = this;
+    job->submitted_at = Clock::now();
+
+    std::string reason;
+    if (!queue_.tryPush(job, &reason)) {
+        {
+            std::lock_guard<std::mutex> lock(job->m);
+            job->status = JobStatus::kRejected;
+            job->error = reason;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejected_;
+        return JobHandle(std::move(job));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    return JobHandle(std::move(job));
+}
+
+size_t
+Scheduler::selectIndex(
+    const std::deque<std::shared_ptr<JobState>>& pending)
+{
+    using Queue = BoundedQueue<std::shared_ptr<JobState>>;
+    if (pending.empty()) return Queue::kNone;
+    const unsigned free = free_workers_.load(std::memory_order_acquire);
+    JobState& head = *pending.front();
+    if (clampThreads(head.spec.threads) <= free) return 0;
+    // Head does not fit. Once it has been bypassed aging_limit times
+    // it reserves the budget: nothing younger may jump it, so freed
+    // workers accumulate until the wide job fits.
+    if (head.bypass_count >= config_.aging_limit) return Queue::kNone;
+    for (size_t i = 1; i < pending.size(); ++i) {
+        if (clampThreads(pending[i]->spec.threads) <= free) {
+            ++head.bypass_count;
+            return i;
+        }
+    }
+    return Queue::kNone;
+}
+
+void
+Scheduler::dispatchLoop()
+{
+    for (;;) {
+        auto item = queue_.popSelect(
+            [this](const std::deque<std::shared_ptr<JobState>>& q) {
+                return selectIndex(q);
+            });
+        if (!item) break; // closed and empty: drain complete
+        std::shared_ptr<JobState> job = std::move(*item);
+        const unsigned granted = clampThreads(job->spec.threads);
+        free_workers_.fetch_sub(granted, std::memory_order_acq_rel);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++running_;
+            const unsigned busy =
+                workers_ -
+                free_workers_.load(std::memory_order_relaxed);
+            peak_busy_ = std::max(peak_busy_, busy);
+        }
+        // Detached runner: completion is tracked via running_, which
+        // shutdown waits on; the thread touches no scheduler state
+        // after its final decrement.
+        std::thread(
+            [this, job = std::move(job), granted]() mutable {
+                runJob(std::move(job), granted);
+            })
+            .detach();
+    }
+}
+
+void
+Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted)
+{
+    {
+        std::lock_guard<std::mutex> lock(job->m);
+        job->status = JobStatus::kRunning;
+        job->metrics.queue_seconds = secondsSince(job->submitted_at);
+        job->metrics.pool_threads = granted;
+    }
+
+    JobStatus final_status = JobStatus::kDone;
+    std::string error;
+    double prepare_seconds = 0.0;
+    double run_seconds = 0.0;
+    double best_run_seconds = 0.0;
+    u64 tasks = 0;
+    try {
+        auto kernel = config_.kernel_factory(job->spec.kernel);
+        kernel->setEngine(job->spec.engine);
+        WallTimer prep_timer;
+        kernel->prepare(job->spec.size);
+        prepare_seconds = prep_timer.seconds();
+
+        // This job's slice of the worker budget: the runner thread is
+        // rank 0, the pool spawns granted-1 more.
+        ThreadPool pool(granted);
+        double best = 1e300;
+        for (unsigned r = 0; r < job->spec.repeats; ++r) {
+            WallTimer timer;
+            tasks = kernel->run(pool);
+            const double seconds = timer.seconds();
+            run_seconds += seconds;
+            best = std::min(best, seconds);
+        }
+        best_run_seconds = best;
+    } catch (const std::exception& e) {
+        // Error isolation: the kernel failed, the server did not.
+        final_status = JobStatus::kFailed;
+        error = e.what();
+    } catch (...) {
+        final_status = JobStatus::kFailed;
+        error = "unknown error";
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(job->m);
+        job->metrics.prepare_seconds = prepare_seconds;
+        job->metrics.run_seconds = run_seconds;
+        job->metrics.best_run_seconds = best_run_seconds;
+        job->metrics.tasks = tasks;
+        job->status = final_status;
+        job->error = std::move(error);
+        job->cv.notify_all();
+    }
+
+    // Return the budget slice, wake the dispatcher to re-evaluate the
+    // policy, then retire. The final block is the last touch of
+    // scheduler state: shutdown cannot finish before it runs.
+    free_workers_.fetch_add(granted, std::memory_order_acq_rel);
+    queue_.notify();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (final_status == JobStatus::kDone) {
+            ++completed_;
+        } else {
+            ++failed_;
+        }
+        --running_;
+        idle_cv_.notify_all();
+    }
+}
+
+bool
+Scheduler::cancelJob(const std::shared_ptr<JobState>& job,
+                     const std::string& reason)
+{
+    auto removed = queue_.eraseIf(
+        [&](const std::shared_ptr<JobState>& pending) {
+            return pending.get() == job.get();
+        });
+    if (!removed) return false; // dispatched, terminal, or rejected
+    {
+        std::lock_guard<std::mutex> lock(job->m);
+        job->status = JobStatus::kCancelled;
+        job->error = reason;
+        job->cv.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++cancelled_;
+    return true;
+}
+
+void
+Scheduler::joinDispatcher()
+{
+    if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void
+Scheduler::drain()
+{
+    queue_.close();
+    joinDispatcher();
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+void
+Scheduler::shutdownNow()
+{
+    queue_.close();
+    for (auto& job : queue_.drainAll()) {
+        {
+            std::lock_guard<std::mutex> lock(job->m);
+            job->status = JobStatus::kCancelled;
+            job->error = "scheduler shutdown";
+            job->cv.notify_all();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++cancelled_;
+    }
+    joinDispatcher();
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+Scheduler::Stats
+Scheduler::stats() const
+{
+    Stats stats;
+    stats.workers = workers_;
+    stats.queue_depth = queue_.capacity();
+    stats.queued = queue_.size();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.submitted = submitted_;
+    stats.rejected = rejected_;
+    stats.completed = completed_;
+    stats.failed = failed_;
+    stats.cancelled = cancelled_;
+    stats.running = running_;
+    stats.peak_workers_busy = peak_busy_;
+    return stats;
+}
+
+} // namespace gb::serve

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * gb::serve — in-process batch/async serving over the kernel registry.
+ *
+ * The Scheduler turns the per-invocation CLI model into a throughput
+ * system (ROADMAP north-star): many concurrent kernel-run requests
+ * execute over one fixed worker budget. Core mechanics:
+ *
+ *  - Admission control: submissions land in a bounded MPMC queue
+ *    (bounded_queue.h); when it is full the job is rejected with a
+ *    reason instead of blocking the submitter (backpressure).
+ *
+ *  - Pool-of-pools: the budget of `workers` threads is carved into
+ *    per-job ThreadPools sized by each job's request (clamped to the
+ *    budget). A job runs on a dedicated runner thread that becomes
+ *    rank 0 of its pool, so N concurrent jobs use at most `workers`
+ *    execution threads in total.
+ *
+ *  - FIFO + big-job aging: jobs dispatch oldest-first; a job whose
+ *    thread request does not fit the currently free budget can be
+ *    bypassed by later, smaller jobs (small jobs never starve behind
+ *    a wide one) — but only `aging_limit` times, after which the head
+ *    reserves the budget until it fits (wide jobs never starve
+ *    either).
+ *
+ *  - Shared prepare: kernels build-or-load prepared artifacts through
+ *    the process-global store::ArtifactCache, whose single-flight
+ *    fetchOrBuild() means N concurrent jobs needing one artifact run
+ *    exactly one prepare build.
+ *
+ *  - Error isolation: a throwing kernel fails its own job (status +
+ *    message on the handle); the scheduler keeps serving.
+ *
+ *  - Graceful drain: drain() stops admissions and runs everything
+ *    queued to completion; shutdownNow() (and the destructor) cancels
+ *    queued jobs and waits only for the ones already running.
+ */
+#ifndef GB_SERVE_SCHEDULER_H
+#define GB_SERVE_SCHEDULER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "serve/bounded_queue.h"
+#include "serve/job.h"
+#include "util/common.h"
+
+namespace gb::serve {
+
+/** Lifecycle of one submitted job. */
+enum class JobStatus : u8
+{
+    kQueued,    ///< admitted, waiting for dispatch
+    kRunning,   ///< executing on its pool
+    kDone,      ///< completed all repeats
+    kFailed,    ///< kernel threw; error() has the message
+    kCancelled, ///< removed from the queue before it started
+    kRejected,  ///< never admitted; error() has the reason
+};
+
+/** Display name ("queued", "running", ...). */
+const char* jobStatusName(JobStatus status);
+
+/** True for states a job can never leave. */
+bool jobStatusTerminal(JobStatus status);
+
+/** Per-job measurements, valid once the job is terminal. */
+struct JobMetrics
+{
+    double queue_seconds = 0.0;   ///< submit -> dispatch wait
+    double prepare_seconds = 0.0; ///< prepare() wall time
+    double run_seconds = 0.0;     ///< total across repeats
+    double best_run_seconds = 0.0;
+    u64 tasks = 0;                ///< work units of the last repeat
+    unsigned pool_threads = 0;    ///< granted pool size
+};
+
+struct JobState; // internal; owned via shared_ptr by handle + queue
+
+class Scheduler;
+
+/**
+ * Future-style handle to one submitted job. Copyable; status(),
+ * wait(), waitFor(), metrics() and error() touch only the job's own
+ * state and are safe at any time. cancel() goes through the scheduler
+ * and must not be called after the Scheduler is destroyed.
+ */
+class JobHandle
+{
+  public:
+    const JobSpec& spec() const;
+
+    JobStatus status() const;
+
+    /** Block until the job reaches a terminal state. */
+    void wait() const;
+
+    /**
+     * Block up to `seconds` for a terminal state.
+     * @return true if the job is terminal on return.
+     */
+    bool waitFor(double seconds) const;
+
+    /**
+     * Remove the job from the queue before it starts. Returns true if
+     * the job is now kCancelled; false if it was already dispatched,
+     * terminal, or rejected (cancel-after-start is not supported —
+     * kernels have no preemption points).
+     */
+    bool cancel();
+
+    /** Measurements; stable once the job is terminal. */
+    JobMetrics metrics() const;
+
+    /** Failure message (kFailed) or rejection reason (kRejected). */
+    std::string error() const;
+
+  private:
+    friend class Scheduler;
+    explicit JobHandle(std::shared_ptr<JobState> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<JobState> state_;
+};
+
+class Scheduler
+{
+  public:
+    /** Builds a kernel by name (tests substitute fakes). */
+    using KernelFactory =
+        std::function<std::unique_ptr<Benchmark>(const std::string&)>;
+
+    struct Config
+    {
+        unsigned workers = 0;   ///< total budget; 0 = hardware threads
+        size_t queue_depth = 64;
+        /** Bypasses the queue head tolerates before it reserves the
+         *  budget (see file comment). */
+        unsigned aging_limit = 4;
+        /** Kernel instantiation; default createKernel(). */
+        KernelFactory kernel_factory;
+        /** Valid kernel names for submit(); default kernelNames(). */
+        std::vector<std::string> kernels;
+    };
+
+    /** Server-level counters (stats()). */
+    struct Stats
+    {
+        unsigned workers = 0;
+        size_t queue_depth = 0;
+        u64 submitted = 0; ///< admitted to the queue
+        u64 rejected = 0;  ///< refused by admission control
+        u64 completed = 0;
+        u64 failed = 0;
+        u64 cancelled = 0;
+        size_t queued = 0;  ///< currently waiting
+        unsigned running = 0;
+        unsigned peak_workers_busy = 0;
+    };
+
+    explicit Scheduler(Config config);
+
+    /** shutdownNow(). */
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /**
+     * Validate and admit one job. Throws InputError on an invalid
+     * spec (unknown kernel, zero threads/repeats). A structurally
+     * valid job the server cannot absorb right now comes back as a
+     * handle already in kRejected with the reason in error() — load
+     * shedding is a normal outcome, not an exception.
+     */
+    JobHandle submit(JobSpec spec);
+
+    /**
+     * Graceful shutdown: stop admissions, execute everything already
+     * queued, return when the last job finished. Idempotent; submit()
+     * after drain() is rejected.
+     */
+    void drain();
+
+    /**
+     * Fast shutdown: stop admissions, cancel still-queued jobs
+     * (kCancelled, error "scheduler shutdown"), wait only for jobs
+     * already running. Idempotent.
+     */
+    void shutdownNow();
+
+    /** Resolved worker budget. */
+    unsigned workers() const { return workers_; }
+
+    Stats stats() const;
+
+  private:
+    void dispatchLoop();
+    void runJob(std::shared_ptr<JobState> job, unsigned granted);
+    size_t selectIndex(
+        const std::deque<std::shared_ptr<JobState>>& pending);
+    unsigned clampThreads(unsigned requested) const;
+    bool cancelJob(const std::shared_ptr<JobState>& job,
+                   const std::string& reason);
+    void joinDispatcher();
+
+    friend class JobHandle;
+
+    Config config_;
+    unsigned workers_ = 0;
+    BoundedQueue<std::shared_ptr<JobState>> queue_;
+    std::atomic<unsigned> free_workers_{0};
+
+    mutable std::mutex mutex_; ///< guards counters + running_
+    std::condition_variable idle_cv_;
+    unsigned running_ = 0;
+    unsigned peak_busy_ = 0;
+    u64 submitted_ = 0;
+    u64 rejected_ = 0;
+    u64 completed_ = 0;
+    u64 failed_ = 0;
+    u64 cancelled_ = 0;
+
+    std::thread dispatcher_;
+};
+
+} // namespace gb::serve
+
+#endif // GB_SERVE_SCHEDULER_H

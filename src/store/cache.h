@@ -12,11 +12,21 @@
  * The process-global cache is disabled by default; the bench harness
  * and CLI enable it from --cache-dir. Kernels consult it inside
  * prepare(), which makes caching transparent to every entry point
- * (bench binaries, `genomicsbench run/characterize`, examples).
+ * (bench binaries, `genomicsbench run/characterize`, examples, the
+ * gb::serve scheduler).
+ *
+ * Concurrency: all methods are safe to call from multiple threads.
+ * Concurrent builders of one key are handled at two levels — on disk,
+ * every StoreWriter publishes via a unique temp file + atomic rename
+ * (so even two *processes* racing on a key cannot corrupt it), and
+ * in-process, fetchOrBuild() adds a single-flight guard so N
+ * concurrent requesters of the same artifact run exactly one build
+ * while the rest block and then load the published file.
  */
 #ifndef GB_STORE_CACHE_H
 #define GB_STORE_CACHE_H
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -36,6 +46,11 @@ class ArtifactCache
 
     /** Cache rooted at `dir` (created if absent). */
     explicit ArtifactCache(std::string dir);
+
+    ArtifactCache(ArtifactCache&& other) noexcept;
+    ArtifactCache& operator=(ArtifactCache&& other) noexcept;
+    ArtifactCache(const ArtifactCache&) = delete;
+    ArtifactCache& operator=(const ArtifactCache&) = delete;
 
     bool enabled() const { return !dir_.empty(); }
     const std::string& dir() const { return dir_; }
@@ -75,13 +90,47 @@ class ArtifactCache
         const std::function<void(const std::shared_ptr<StoreReader>&)>&
             use);
 
-    u64 hits() const { return hits_; }
-    u64 misses() const { return misses_; }
+    /**
+     * Single-flight build-or-load. Tries load(family, key, use)
+     * first; on a miss, exactly one concurrent in-process caller runs
+     * `build` (which is expected to generate state and persist it via
+     * write()) while every other caller of the same (family, key)
+     * blocks, then loads the published artifact. A waiter whose
+     * builder failed to persist (e.g. disk full) falls back to
+     * building locally, so the call always leaves the caller with
+     * usable state. With the cache disabled every caller builds.
+     *
+     * @return true if `use` consumed a cached artifact, false if this
+     *         caller ran `build`.
+     */
+    bool fetchOrBuild(
+        std::string_view family, u64 key,
+        const std::function<void(const std::shared_ptr<StoreReader>&)>&
+            use,
+        const std::function<void()>& build);
+
+    u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+    u64 misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /** fetchOrBuild() calls that ran their `build` callback. */
+    u64 builds() const
+    {
+        return builds_.load(std::memory_order_relaxed);
+    }
+    /** fetchOrBuild() calls that blocked on another caller's build. */
+    u64 flightWaits() const
+    {
+        return flight_waits_.load(std::memory_order_relaxed);
+    }
 
   private:
     std::string dir_;
-    u64 hits_ = 0;
-    u64 misses_ = 0;
+    std::atomic<u64> hits_{0};
+    std::atomic<u64> misses_{0};
+    std::atomic<u64> builds_{0};
+    std::atomic<u64> flight_waits_{0};
 };
 
 /** The process-global cache (disabled until setCacheDir()). */

@@ -1,6 +1,7 @@
 #include "store/container.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
@@ -24,13 +25,34 @@ quoted(std::string_view name)
     return "'" + std::string(name) + "'";
 }
 
+/**
+ * Per-writer temporary path. The pid + process-wide sequence suffix
+ * keeps concurrent builders of the *same* destination (two threads or
+ * two processes racing on one cache key) on distinct temp files, so
+ * neither can truncate or interleave with the other's half-written
+ * payload; whoever finishes last simply renames over the winner with
+ * identical bytes. A fixed "<path>.tmp" name had exactly that race.
+ */
+std::string
+uniqueTmpPath(const std::string& path)
+{
+    static std::atomic<u64> seq{0};
+#if GB_STORE_HAVE_MMAP
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    return path + ".tmp." + std::to_string(pid) + "." +
+           std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
 // StoreWriter
 
 StoreWriter::StoreWriter(std::string path)
-    : path_(std::move(path)), tmp_path_(path_ + ".tmp")
+    : path_(std::move(path)), tmp_path_(uniqueTmpPath(path_))
 {
     out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
     requireInput(out_.is_open(),

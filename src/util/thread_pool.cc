@@ -161,6 +161,45 @@ ThreadPool::parallelForRanked(
 }
 
 void
+ThreadPool::forEachThread(const std::function<void(unsigned)>& fn)
+{
+    if (num_threads_ == 1) {
+        fn(0);
+        return;
+    }
+    // One index per thread, with a barrier inside the body: each
+    // thread claims exactly one index (it blocks before it could claim
+    // a second), so every rank runs fn exactly once. fn exceptions are
+    // deferred past the barrier — a throwing rank must still arrive or
+    // the others would wait forever.
+    std::mutex m;
+    std::condition_variable cv;
+    unsigned arrived = 0;
+    std::exception_ptr first_error;
+    parallelForRanked(
+        num_threads_,
+        [&](u64, unsigned rank) {
+            try {
+                fn(rank);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(m);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+            std::unique_lock<std::mutex> lock(m);
+            if (++arrived == num_threads_) {
+                cv.notify_all();
+            } else {
+                cv.wait(lock,
+                        [&] { return arrived == num_threads_; });
+            }
+        },
+        1);
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+void
 ThreadPool::parallelFor(u64 n, const std::function<void(u64)>& body,
                         u64 grain)
 {

@@ -87,6 +87,18 @@ class ThreadPool
         u64 grain = 1);
 
     /**
+     * Run `fn(rank)` exactly once on every pool thread (rank 0 is the
+     * calling thread), then return. Used to set up or sample per-thread
+     * state that must live on the worker itself — e.g. per-rank
+     * perf_event fds (metrics::PooledCounters), which count only the
+     * thread that opened them. The first exception thrown by `fn` is
+     * rethrown on the caller after all threads have finished, so a
+     * throwing rank cannot deadlock the internal barrier. Counts as
+     * one job in the telemetry (the barrier wait is busy time).
+     */
+    void forEachThread(const std::function<void(unsigned)>& fn);
+
+    /**
      * Zero the accumulated per-rank telemetry. Must not race with a
      * parallelFor in flight (telemetry is for the measuring caller).
      */

@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Tests for gb::serve: job parsing/validation, admission control,
+ * FIFO + big-job-aging dispatch order, cancellation semantics, kernel
+ * error isolation, single-flight prepare through the artifact cache,
+ * and drain/shutdown behaviour.
+ *
+ * The scheduler is driven with fake kernels (Config::kernel_factory)
+ * whose run() can be gated on a condition variable, so every ordering
+ * assertion below is deterministic: a test only releases a gate once
+ * the queue is in the exact state it wants to observe.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+#include "serve/job.h"
+#include "serve/scheduler.h"
+#include "store/cache.h"
+#include "store/container.h"
+
+namespace gb {
+namespace {
+
+using serve::JobHandle;
+using serve::JobSpec;
+using serve::JobStatus;
+using serve::Scheduler;
+
+// ---------------------------------------------------------------------
+// Job parsing
+
+TEST(ServeJob, ParseLineFull)
+{
+    const JobSpec spec = serve::parseJobLine(
+        "fmi size=large engine=simd threads=4 repeats=7");
+    EXPECT_EQ(spec.kernel, "fmi");
+    EXPECT_EQ(spec.size, DatasetSize::kLarge);
+    EXPECT_EQ(spec.engine, Engine::kSimd);
+    EXPECT_EQ(spec.threads, 4u);
+    EXPECT_EQ(spec.repeats, 7u);
+}
+
+TEST(ServeJob, ParseLineDefaults)
+{
+    const JobSpec spec = serve::parseJobLine("kmer-cnt");
+    EXPECT_EQ(spec.kernel, "kmer-cnt");
+    EXPECT_EQ(spec.size, DatasetSize::kTiny);
+    EXPECT_EQ(spec.engine, Engine::kScalar);
+    EXPECT_EQ(spec.threads, 1u);
+    EXPECT_EQ(spec.repeats, 1u);
+}
+
+TEST(ServeJob, ParseLineErrors)
+{
+    EXPECT_THROW(serve::parseJobLine(""), InputError);
+    EXPECT_THROW(serve::parseJobLine("size=tiny"), InputError);
+    EXPECT_THROW(serve::parseJobLine("fmi bsw"), InputError);
+    EXPECT_THROW(serve::parseJobLine("fmi size=tiny size=small"),
+                 InputError);
+    EXPECT_THROW(serve::parseJobLine("fmi colour=blue"), InputError);
+    EXPECT_THROW(serve::parseJobLine("fmi threads=zero"), InputError);
+    EXPECT_THROW(serve::parseJobLine("fmi threads=0"), InputError);
+    EXPECT_THROW(serve::parseJobLine("fmi threads="), InputError);
+    EXPECT_THROW(serve::parseJobLine("fmi size=medium"), InputError);
+}
+
+TEST(ServeJob, ParseFile)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "gb_serve_jobs_test.txt";
+    {
+        std::ofstream out(path);
+        out << "# genomics job list\n"
+               "\n"
+               "fmi size=tiny threads=2   # trailing comment\n"
+               "bsw engine=simd\n";
+    }
+    const auto specs = serve::parseJobFile(path.string());
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].kernel, "fmi");
+    EXPECT_EQ(specs[0].threads, 2u);
+    EXPECT_EQ(specs[1].kernel, "bsw");
+    EXPECT_EQ(specs[1].engine, Engine::kSimd);
+    std::filesystem::remove(path);
+}
+
+TEST(ServeJob, ParseFileReportsLineNumber)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "gb_serve_jobs_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "fmi\n\nfmi bogus=1\n";
+    }
+    try {
+        serve::parseJobFile(path.string());
+        FAIL() << "expected InputError";
+    } catch (const InputError& e) {
+        EXPECT_NE(std::string(e.what()).find(":3:"), std::string::npos)
+            << e.what();
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ServeJob, ParseFileErrors)
+{
+    EXPECT_THROW(serve::parseJobFile("/nonexistent/jobs.txt"),
+                 InputError);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "gb_serve_jobs_empty.txt";
+    { std::ofstream out(path); out << "# only comments\n"; }
+    EXPECT_THROW(serve::parseJobFile(path.string()), InputError);
+    std::filesystem::remove(path);
+}
+
+TEST(ServeJob, ValidateSpec)
+{
+    const std::vector<std::string> known = {"alpha", "beta"};
+    JobSpec spec;
+    spec.kernel = "alpha";
+    EXPECT_NO_THROW(serve::validateSpec(spec, known));
+    spec.kernel = "gamma";
+    EXPECT_THROW(serve::validateSpec(spec, known), InputError);
+    spec.kernel = "alpha";
+    spec.threads = 0;
+    EXPECT_THROW(serve::validateSpec(spec, known), InputError);
+    spec.threads = 1;
+    spec.repeats = 0;
+    EXPECT_THROW(serve::validateSpec(spec, known), InputError);
+}
+
+// ---------------------------------------------------------------------
+// Fake kernels
+
+/**
+ * Shared strings/flags driving the fake kernels. A kernel whose name
+ * is gated blocks inside run() until release(); every run() start is
+ * appended to `started` so tests can assert dispatch order.
+ */
+struct FakeControl
+{
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<std::string> started;
+    std::set<std::string> gated;
+    std::atomic<int> prepare_calls{0};
+
+    void
+    recordStart(const std::string& name)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        started.push_back(name);
+        cv.notify_all();
+        cv.wait(lock, [&] { return gated.count(name) == 0; });
+    }
+
+    void
+    release(const std::string& name)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        gated.erase(name);
+        cv.notify_all();
+    }
+
+    /** Block until `name` has entered run(). */
+    void
+    awaitStart(const std::string& name)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] {
+            return std::find(started.begin(), started.end(), name) !=
+                   started.end();
+        });
+    }
+
+    std::vector<std::string>
+    startOrder()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return started;
+    }
+};
+
+class FakeKernel : public Benchmark
+{
+  public:
+    FakeKernel(std::string name, FakeControl* control,
+               bool throws = false)
+        : control_(control), throws_(throws)
+    {
+        info_.name = std::move(name);
+    }
+
+    const Info& info() const override { return info_; }
+
+    void prepare(DatasetSize) override { ++control_->prepare_calls; }
+
+    u64
+    run(ThreadPool&) override
+    {
+        control_->recordStart(info_.name);
+        if (throws_) throw InputError("kernel exploded: " + info_.name);
+        return 1;
+    }
+
+    u64 characterize(CharProbe&) override { return 0; }
+    std::vector<u64> taskWork() override { return {1}; }
+
+  private:
+    Info info_;
+    FakeControl* control_;
+    bool throws_;
+};
+
+/** Scheduler config whose registry is the given fake kernel names. */
+Scheduler::Config
+fakeConfig(FakeControl* control, std::vector<std::string> names,
+           unsigned workers, size_t queue_depth,
+           unsigned aging_limit = 4)
+{
+    Scheduler::Config config;
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    config.aging_limit = aging_limit;
+    config.kernels = names;
+    config.kernel_factory = [control](const std::string& name) {
+        const bool throws = name.rfind("boom", 0) == 0;
+        return std::make_unique<FakeKernel>(name, control, throws);
+    };
+    return config;
+}
+
+JobSpec
+job(const std::string& kernel, unsigned threads = 1)
+{
+    JobSpec spec;
+    spec.kernel = kernel;
+    spec.threads = threads;
+    return spec;
+}
+
+// ---------------------------------------------------------------------
+// Scheduler behaviour
+
+TEST(ServeScheduler, RunsJobsAndReportsMetrics)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"a", "b"}, 2, 8));
+    auto h1 = scheduler.submit(job("a"));
+    auto h2 = scheduler.submit(job("b", 2));
+    h1.wait();
+    h2.wait();
+    EXPECT_EQ(h1.status(), JobStatus::kDone);
+    EXPECT_EQ(h2.status(), JobStatus::kDone);
+    EXPECT_EQ(h1.metrics().tasks, 1u);
+    EXPECT_EQ(h1.metrics().pool_threads, 1u);
+    EXPECT_EQ(h2.metrics().pool_threads, 2u);
+    scheduler.drain();
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServeScheduler, SubmitValidatesSpec)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"a"}, 1, 4));
+    EXPECT_THROW(scheduler.submit(job("unknown")), InputError);
+    EXPECT_THROW(scheduler.submit(job("a", 0)), InputError);
+}
+
+TEST(ServeScheduler, AdmissionRejectsWhenFull)
+{
+    FakeControl control;
+    control.gated.insert("gate");
+    Scheduler scheduler(fakeConfig(&control, {"gate", "a"}, 1, 2));
+    auto blocker = scheduler.submit(job("gate"));
+    control.awaitStart("gate"); // worker busy, queue empty
+    auto q1 = scheduler.submit(job("a"));
+    auto q2 = scheduler.submit(job("a"));
+    auto q3 = scheduler.submit(job("a")); // queue holds 2: rejected
+    EXPECT_EQ(q3.status(), JobStatus::kRejected);
+    EXPECT_NE(q3.error().find("queue full"), std::string::npos)
+        << q3.error();
+    control.release("gate");
+    scheduler.drain();
+    EXPECT_EQ(blocker.status(), JobStatus::kDone);
+    EXPECT_EQ(q1.status(), JobStatus::kDone);
+    EXPECT_EQ(q2.status(), JobStatus::kDone);
+    EXPECT_EQ(q3.status(), JobStatus::kRejected);
+    EXPECT_EQ(scheduler.stats().rejected, 1u);
+    EXPECT_EQ(scheduler.stats().completed, 3u);
+}
+
+TEST(ServeScheduler, FifoOrder)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"j1", "j2", "j3", "j4"},
+                                   1, 8));
+    std::vector<JobHandle> handles;
+    for (const auto* name : {"j1", "j2", "j3", "j4"}) {
+        handles.push_back(scheduler.submit(job(name)));
+    }
+    scheduler.drain();
+    EXPECT_EQ(control.startOrder(),
+              (std::vector<std::string>{"j1", "j2", "j3", "j4"}));
+}
+
+TEST(ServeScheduler, SmallJobsBypassWideHeadUntilAged)
+{
+    FakeControl control;
+    control.gated.insert("R");
+    // 2 workers, aging_limit=2: R holds one worker, the wide job L
+    // (threads=2) cannot fit and is bypassed by S1 and S2; its third
+    // bypass is forbidden, so S3 must wait behind it even though a
+    // worker is free.
+    Scheduler scheduler(fakeConfig(&control,
+                                   {"R", "L", "S1", "S2", "S3"}, 2, 8,
+                                   /*aging_limit=*/2));
+    auto r = scheduler.submit(job("R"));
+    control.awaitStart("R");
+    auto l = scheduler.submit(job("L", 2));
+    auto s1 = scheduler.submit(job("S1"));
+    auto s2 = scheduler.submit(job("S2"));
+    auto s3 = scheduler.submit(job("S3"));
+    s2.wait(); // both bypasses happened
+    EXPECT_EQ(l.status(), JobStatus::kQueued);
+    EXPECT_EQ(s3.status(), JobStatus::kQueued); // reserved for L
+    control.release("R");
+    scheduler.drain();
+    EXPECT_EQ(control.startOrder(),
+              (std::vector<std::string>{"R", "S1", "S2", "L", "S3"}));
+}
+
+TEST(ServeScheduler, CancelQueuedNotRunning)
+{
+    FakeControl control;
+    control.gated.insert("gate");
+    Scheduler scheduler(fakeConfig(&control, {"gate", "a"}, 1, 8));
+    auto running = scheduler.submit(job("gate"));
+    control.awaitStart("gate");
+    auto queued1 = scheduler.submit(job("a"));
+    auto queued2 = scheduler.submit(job("a"));
+    EXPECT_FALSE(running.cancel()); // already dispatched
+    EXPECT_TRUE(queued1.cancel());  // cancel mid-queue
+    EXPECT_FALSE(queued1.cancel()); // already terminal
+    EXPECT_EQ(queued1.status(), JobStatus::kCancelled);
+    EXPECT_NE(queued1.error().find("cancelled"), std::string::npos);
+    control.release("gate");
+    scheduler.drain();
+    EXPECT_EQ(running.status(), JobStatus::kDone);
+    EXPECT_EQ(queued2.status(), JobStatus::kDone); // queue kept going
+    EXPECT_EQ(scheduler.stats().cancelled, 1u);
+    // The cancelled job never ran.
+    const auto order = control.startOrder();
+    EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(ServeScheduler, KernelThrowIsIsolated)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"boom", "a"}, 1, 8));
+    auto bad = scheduler.submit(job("boom"));
+    auto good = scheduler.submit(job("a"));
+    scheduler.drain();
+    EXPECT_EQ(bad.status(), JobStatus::kFailed);
+    EXPECT_NE(bad.error().find("kernel exploded"), std::string::npos)
+        << bad.error();
+    EXPECT_EQ(good.status(), JobStatus::kDone);
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServeScheduler, WaitForTimesOut)
+{
+    FakeControl control;
+    control.gated.insert("gate");
+    Scheduler scheduler(fakeConfig(&control, {"gate"}, 1, 4));
+    auto handle = scheduler.submit(job("gate"));
+    control.awaitStart("gate");
+    EXPECT_FALSE(handle.waitFor(0.01));
+    control.release("gate");
+    handle.wait();
+    EXPECT_EQ(handle.status(), JobStatus::kDone);
+}
+
+TEST(ServeScheduler, DrainStopsAdmissions)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"a"}, 2, 8));
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < 5; ++i) {
+        handles.push_back(scheduler.submit(job("a")));
+    }
+    scheduler.drain();
+    for (const auto& handle : handles) {
+        EXPECT_EQ(handle.status(), JobStatus::kDone);
+    }
+    auto late = scheduler.submit(job("a"));
+    EXPECT_EQ(late.status(), JobStatus::kRejected);
+    EXPECT_NE(late.error().find("closed"), std::string::npos)
+        << late.error();
+    scheduler.drain(); // idempotent
+}
+
+TEST(ServeScheduler, ShutdownNowCancelsQueuedJobs)
+{
+    FakeControl control;
+    control.gated.insert("gate");
+    auto scheduler = std::make_unique<Scheduler>(
+        fakeConfig(&control, {"gate", "a"}, 1, 8));
+    auto running = scheduler->submit(job("gate"));
+    control.awaitStart("gate");
+    auto queued = scheduler->submit(job("a"));
+    // shutdownNow cancels the queued job immediately, then blocks on
+    // the running one; release its gate from another thread.
+    std::thread releaser([&] {
+        queued.wait(); // becomes kCancelled during shutdown
+        control.release("gate");
+    });
+    scheduler->shutdownNow();
+    releaser.join();
+    EXPECT_EQ(running.status(), JobStatus::kDone);
+    EXPECT_EQ(queued.status(), JobStatus::kCancelled);
+    EXPECT_NE(queued.error().find("shutdown"), std::string::npos);
+    scheduler.reset(); // destructor after shutdownNow is a no-op
+}
+
+// ---------------------------------------------------------------------
+// Single-flight prepare through the artifact cache
+
+/** Fake kernel whose prepare() builds-or-loads one shared artifact. */
+class CachingKernel : public Benchmark
+{
+  public:
+    CachingKernel(store::ArtifactCache* cache,
+                  std::atomic<int>* builds)
+        : cache_(cache), builds_(builds)
+    {
+        info_.name = "caching";
+    }
+
+    const Info& info() const override { return info_; }
+
+    void
+    prepare(DatasetSize) override
+    {
+        std::vector<u8> payload;
+        const bool cached = cache_->fetchOrBuild(
+            "shared", 7,
+            [&](const std::shared_ptr<store::StoreReader>& reader) {
+                const auto bytes = reader->section("payload");
+                payload.assign(bytes.begin(), bytes.end());
+            },
+            [&] {
+                ++*builds_;
+                // Slow build: every concurrent job lands in the
+                // flight while this sleeps.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                payload.assign(64, u8{0xAB});
+                cache_->write("shared", 7,
+                              [&](store::StoreWriter& writer) {
+                                  writer.add("payload",
+                                             payload.data(),
+                                             payload.size());
+                              });
+            });
+        (void)cached;
+        requireInput(payload.size() == 64 && payload[0] == u8{0xAB},
+                     "bad artifact payload");
+    }
+
+    u64 run(ThreadPool&) override { return 1; }
+    u64 characterize(CharProbe&) override { return 0; }
+    std::vector<u64> taskWork() override { return {1}; }
+
+  private:
+    Info info_;
+    store::ArtifactCache* cache_;
+    std::atomic<int>* builds_;
+};
+
+TEST(ServeScheduler, SingleFlightPrepare)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "gb_serve_singleflight";
+    std::filesystem::remove_all(dir);
+    store::ArtifactCache cache(dir.string());
+    std::atomic<int> builds{0};
+
+    Scheduler::Config config;
+    config.workers = 4;
+    config.queue_depth = 8;
+    config.kernels = {"caching"};
+    config.kernel_factory = [&](const std::string&) {
+        return std::make_unique<CachingKernel>(&cache, &builds);
+    };
+    Scheduler scheduler(std::move(config));
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+        handles.push_back(scheduler.submit(job("caching")));
+    }
+    scheduler.drain();
+    for (const auto& handle : handles) {
+        EXPECT_EQ(handle.status(), JobStatus::kDone)
+            << handle.error();
+    }
+    // The whole point: 4 concurrent prepares, exactly one build. The
+    // three non-builders each loaded the published artifact (a hit),
+    // whether they blocked in the flight or arrived after publish.
+    EXPECT_EQ(builds.load(), 1);
+    EXPECT_EQ(cache.builds(), 1u);
+    EXPECT_EQ(cache.hits(), 3u);
+    EXPECT_LE(cache.flightWaits(), 3u);
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Bounded queue
+
+TEST(ServeBoundedQueue, PushPopAndCapacity)
+{
+    serve::BoundedQueue<int> queue(2);
+    std::string reason;
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_TRUE(queue.tryPush(2));
+    EXPECT_FALSE(queue.tryPush(3, &reason));
+    EXPECT_NE(reason.find("queue full"), std::string::npos);
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_TRUE(queue.tryPush(3));
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(ServeBoundedQueue, CloseDrainsThenEnds)
+{
+    serve::BoundedQueue<int> queue(4);
+    queue.tryPush(1);
+    queue.tryPush(2);
+    queue.close();
+    std::string reason;
+    EXPECT_FALSE(queue.tryPush(3, &reason));
+    EXPECT_NE(reason.find("closed"), std::string::npos);
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ServeBoundedQueue, EraseIfRemovesMatch)
+{
+    serve::BoundedQueue<int> queue(4);
+    queue.tryPush(1);
+    queue.tryPush(2);
+    queue.tryPush(3);
+    const auto removed =
+        queue.eraseIf([](const int& v) { return v == 2; });
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_EQ(*removed, 2);
+    EXPECT_FALSE(
+        queue.eraseIf([](const int& v) { return v == 9; }).has_value());
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(ServeBoundedQueue, PopSelectPicksByPolicy)
+{
+    serve::BoundedQueue<int> queue(4);
+    queue.tryPush(10);
+    queue.tryPush(5);
+    queue.tryPush(7);
+    // Policy: pop the smallest element.
+    const auto smallest = queue.popSelect([](const std::deque<int>& q) {
+        size_t best = 0;
+        for (size_t i = 1; i < q.size(); ++i) {
+            if (q[i] < q[best]) best = i;
+        }
+        return best;
+    });
+    EXPECT_EQ(smallest.value(), 5);
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+} // namespace
+} // namespace gb

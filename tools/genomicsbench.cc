@@ -11,12 +11,15 @@
  *                    [--kernels=a,b,c]
  *   genomicsbench store inspect <file.gbs>
  *   genomicsbench store verify <file.gbs>... | --cache-dir=DIR
+ *   genomicsbench serve --jobs=FILE [--workers=N]
+ *                    [--queue-depth=K] [--cache-dir=DIR] [--json=FILE]
  *
  * `run` times the kernel (wall clock, tasks/s); `characterize` prints
  * the operation mix, cache behaviour and top-down attribution for one
  * kernel — the per-kernel view of what the bench_* binaries sweep.
  * The `store` subcommands manage the gb::store artifact cache that
- * --cache-dir consults (see docs/store-format.md).
+ * --cache-dir consults (see docs/store-format.md). `serve` runs a
+ * whole job list through the gb::serve scheduler (docs/serve.md).
  */
 #include <algorithm>
 #include <cstring>
@@ -31,6 +34,9 @@
 #include "core/benchmark.h"
 #include "metrics/metrics_sink.h"
 #include "metrics/perf_counters.h"
+#include "metrics/pooled_counters.h"
+#include "serve/job.h"
+#include "serve/scheduler.h"
 #include "simd/simd.h"
 #include "store/cache.h"
 #include "store/container.h"
@@ -69,7 +75,9 @@ usage()
            " [--size=S] [--kernels=a,b,c]\n"
            "  genomicsbench store inspect <file.gbs>\n"
            "  genomicsbench store verify <file.gbs>... |"
-           " --cache-dir=DIR\n";
+           " --cache-dir=DIR\n"
+           "  genomicsbench serve --jobs=FILE [--workers=N]"
+           " [--queue-depth=K] [--cache-dir=DIR] [--json=FILE]\n";
     return 2;
 }
 
@@ -137,7 +145,9 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     std::cout << '\n';
 
     ThreadPool pool(threads);
-    metrics::PerfCounters counters;
+    // One counter group per pool thread, summed per repeat, so the
+    // reported counters cover the whole run at any thread count.
+    metrics::PooledCounters counters(pool);
     double best = 1e300;
     u64 tasks = 0;
     metrics::PerfSample best_sample;
@@ -145,7 +155,7 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
         WallTimer timer;
         counters.start();
         tasks = kernel->run(pool);
-        const auto sample = counters.stop();
+        const auto sample = counters.stopAggregate();
         const double seconds = timer.seconds();
         if (seconds < best) {
             best = seconds;
@@ -166,17 +176,16 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     }
     std::cout << "best: " << formatF(best, 3) << " s with "
               << pool.numThreads() << " threads\n";
-    // Measured counters for the best repeat; per-thread fds, so with
-    // >1 worker this is rank 0's share of the run.
+    // Measured counters for the best repeat, aggregated across every
+    // pool rank (one perf group per thread).
     if (best_sample.available) {
         // Individual counters can still be missing (negative).
         const auto fmt = [](double v) {
             return v < 0.0 ? std::string("n/a")
                            : formatCount(static_cast<u64>(v));
         };
-        std::cout << "counters ("
-                  << (pool.numThreads() == 1 ? "whole run"
-                                             : "rank 0 share")
+        std::cout << "counters (whole run, " << counters.ranks()
+                  << (counters.ranks() == 1 ? " rank" : " ranks")
                   << "): ipc " << formatF(best_sample.ipc(), 2)
                   << ", cycles " << fmt(best_sample.cycles)
                   << ", LLC misses " << fmt(best_sample.llc_misses)
@@ -349,6 +358,128 @@ cmdStoreVerify(std::vector<std::string> paths)
     return failures == 0 ? 0 : 1;
 }
 
+/**
+ * `serve`: run a whole job list through the gb::serve Scheduler —
+ * submit everything up front, drain, then report per-job and
+ * server-level results. Exit 1 if any job failed or was rejected.
+ */
+int
+cmdServe(const std::string& jobs_path, unsigned workers,
+         size_t queue_depth)
+{
+    if (jobs_path.empty()) {
+        std::cerr << "error: serve requires --jobs=FILE\n";
+        return 2;
+    }
+    const auto specs = serve::parseJobFile(jobs_path);
+
+    const auto& cache = store::globalCache();
+    const u64 builds0 = cache.builds();
+    const u64 hits0 = cache.hits();
+    const u64 misses0 = cache.misses();
+    const u64 waits0 = cache.flightWaits();
+
+    serve::Scheduler::Config config;
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    serve::Scheduler scheduler(std::move(config));
+
+    WallTimer wall;
+    std::vector<serve::JobHandle> handles;
+    handles.reserve(specs.size());
+    for (const auto& spec : specs) {
+        handles.push_back(scheduler.submit(spec));
+    }
+    scheduler.drain();
+    const double wall_seconds = wall.seconds();
+    const auto stats = scheduler.stats();
+
+    Table table("Serve results (" + std::to_string(handles.size()) +
+                " jobs, " + std::to_string(scheduler.workers()) +
+                " workers)");
+    table.setHeader({"job", "kernel", "size", "engine", "t", "status",
+                     "queue s", "prep s", "run s", "tasks/s"});
+    bool any_bad = false;
+    for (size_t i = 0; i < handles.size(); ++i) {
+        const auto& handle = handles[i];
+        const auto status = handle.status();
+        const auto m = handle.metrics();
+        const auto& spec = handle.spec();
+        const double tasks_per_sec =
+            m.best_run_seconds > 0.0
+                ? static_cast<double>(m.tasks) / m.best_run_seconds
+                : 0.0;
+        table.newRow()
+            .cell(std::to_string(i + 1))
+            .cell(spec.kernel)
+            .cell(datasetSizeName(spec.size))
+            .cell(engineName(spec.engine))
+            .cell(std::to_string(m.pool_threads ? m.pool_threads
+                                                : spec.threads))
+            .cell(serve::jobStatusName(status))
+            .cellF(m.queue_seconds, 3)
+            .cellF(m.prepare_seconds, 3)
+            .cellF(m.run_seconds, 3)
+            .cellF(tasks_per_sec, 1);
+        g_sink.newRow("serve_job")
+            .count("job", i + 1)
+            .str("kernel", spec.kernel)
+            .str("size", datasetSizeName(spec.size))
+            .str("engine", engineName(spec.engine))
+            .count("threads", m.pool_threads ? m.pool_threads
+                                             : spec.threads)
+            .count("repeats", spec.repeats)
+            .str("status", serve::jobStatusName(status))
+            .num("queue_seconds", m.queue_seconds)
+            .num("prepare_seconds", m.prepare_seconds)
+            .num("run_seconds", m.run_seconds)
+            .num("best_run_seconds", m.best_run_seconds)
+            .count("tasks", m.tasks)
+            .num("tasks_per_sec", tasks_per_sec);
+        if (status != serve::JobStatus::kDone) {
+            any_bad = true;
+            std::cout << "job " << i + 1 << " ("
+                      << spec.describe() << ") "
+                      << serve::jobStatusName(status) << ": "
+                      << handle.error() << '\n';
+        }
+    }
+    table.print(std::cout);
+
+    const double jobs_per_sec =
+        wall_seconds > 0.0
+            ? static_cast<double>(stats.completed) / wall_seconds
+            : 0.0;
+    std::cout << "served " << stats.completed << "/" << handles.size()
+              << " jobs in " << formatF(wall_seconds, 3) << " s ("
+              << formatF(jobs_per_sec, 2) << " jobs/s, peak "
+              << stats.peak_workers_busy << "/" << stats.workers
+              << " workers busy)\n";
+    if (cache.enabled()) {
+        std::cout << "artifact cache: "
+                  << cache.builds() - builds0 << " builds, "
+                  << cache.hits() - hits0 << " hits, "
+                  << cache.misses() - misses0 << " misses, "
+                  << cache.flightWaits() - waits0
+                  << " single-flight waits\n";
+    }
+    g_sink.newRow("serve_summary")
+        .count("jobs", handles.size())
+        .count("completed", stats.completed)
+        .count("failed", stats.failed)
+        .count("cancelled", stats.cancelled)
+        .count("rejected", stats.rejected)
+        .num("wall_seconds", wall_seconds)
+        .num("jobs_per_sec", jobs_per_sec)
+        .count("workers", stats.workers)
+        .count("peak_workers_busy", stats.peak_workers_busy)
+        .count("cache_builds", cache.builds() - builds0)
+        .count("cache_hits", cache.hits() - hits0)
+        .count("cache_misses", cache.misses() - misses0)
+        .count("cache_flight_waits", cache.flightWaits() - waits0);
+    return any_bad ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -367,6 +498,9 @@ main(int argc, char** argv)
         unsigned repeat = 3;
         Engine engine = Engine::kScalar;
         std::string json_path;
+        std::string jobs_path;
+        unsigned workers = 0;
+        size_t queue_depth = 64;
         std::vector<std::string> kernels;
         std::vector<std::string> positional;
         for (int i = 2; i < argc; ++i) {
@@ -385,6 +519,13 @@ main(int argc, char** argv)
                 store::setCacheDir(arg.substr(12));
             } else if (arg.rfind("--json=", 0) == 0) {
                 json_path = arg.substr(7);
+            } else if (arg.rfind("--jobs=", 0) == 0) {
+                jobs_path = arg.substr(7);
+            } else if (arg.rfind("--workers=", 0) == 0) {
+                workers = static_cast<unsigned>(
+                    std::stoul(arg.substr(10)));
+            } else if (arg.rfind("--queue-depth=", 0) == 0) {
+                queue_depth = std::stoul(arg.substr(14));
             } else if (arg.rfind("--kernels=", 0) == 0) {
                 std::istringstream list(arg.substr(10));
                 std::string name;
@@ -429,6 +570,11 @@ main(int argc, char** argv)
                 return cmdStoreVerify(std::move(positional));
             }
             return usage();
+        }
+
+        if (command == "serve") {
+            if (!positional.empty()) return usage();
+            return cmdServe(jobs_path, workers, queue_depth);
         }
 
         if (positional.size() != 1) return usage();
