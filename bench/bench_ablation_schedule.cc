@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Ablation: parallelFor scheduling policy (dynamic cursor vs work
+ * stealing).
+ *
+ * The suite reproduces OpenMP schedule(dynamic) with a shared atomic
+ * cursor (SchedulePolicy::kDynamic): one fetch_add per grain-sized
+ * chunk. That is paper-faithful but pays per-chunk synchronization on
+ * fine-grained loops. SchedulePolicy::kSteal replaces it with per-rank
+ * ranges + steal-half (docs/threading.md). This bench quantifies the
+ * trade on both axes:
+ *
+ *   1. Synthetic loops sweeping task-skew x grain: cheap bodies where
+ *      scheduling overhead dominates (the win case for kSteal) and
+ *      skewed bodies where load balance dominates (the case dynamic
+ *      scheduling exists for — kSteal must match it via stealing).
+ *      Checksums assert both policies execute every index exactly
+ *      once.
+ *
+ *   2. The suite kernels under both policies at the same thread
+ *      count, asserting identical task counts and reporting the
+ *      speedup, so the --schedule=steal default recommendation for
+ *      `genomicsbench run/serve` is measured, not assumed.
+ *
+ * Every row carries the policy as a string field, so gb-metrics-v1
+ * rows are keyed by policy and never collide with other tables.
+ */
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "harness.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gb;
+
+/** Deterministic ~nanoseconds-scale work unit; returns a checksum. */
+inline u64
+spin(u64 seed, u64 units)
+{
+    u64 h = seed * 0x9e3779b97f4a7c15ULL;
+    for (u64 u = 0; u < units; ++u) {
+        h ^= h >> 29;
+        h *= 0xbf58476d1ce4e5b9ULL;
+    }
+    return h;
+}
+
+struct Shape
+{
+    const char* name;
+    u64 n;
+    /** Work units for index i (the skew profile). */
+    u64 (*work)(u64 i, u64 n);
+};
+
+/** Per-rank checksum accumulator; padded so ranks never share a line. */
+struct alignas(64) Partial
+{
+    u64 sum = 0;
+};
+
+struct PolicyRun
+{
+    double best_seconds = 1e300;
+    u64 checksum = 0;
+    u64 steals = 0;
+    u64 chunks = 0;
+};
+
+PolicyRun
+runSynthetic(ThreadPool& pool, SchedulePolicy policy, const Shape& shape,
+             u64 grain, int reps)
+{
+    pool.setSchedule(policy);
+    PolicyRun result;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::vector<Partial> partials(pool.numThreads());
+        pool.resetTelemetry();
+        WallTimer timer;
+        pool.parallelForRanked(
+            shape.n,
+            [&](u64 i, unsigned rank) {
+                partials[rank].sum +=
+                    spin(i, shape.work(i, shape.n));
+            },
+            grain);
+        result.best_seconds =
+            std::min(result.best_seconds, timer.seconds());
+        u64 checksum = 0;
+        u64 steals = 0;
+        u64 chunks = 0;
+        u64 indices = 0;
+        for (const auto& p : partials) checksum += p.sum;
+        for (const auto& rank : pool.telemetry()) {
+            steals += rank.steals;
+            chunks += rank.chunks;
+            indices += rank.indices;
+        }
+        if (indices != shape.n) {
+            std::cerr << "telemetry mismatch: " << indices
+                      << " indices executed, expected " << shape.n
+                      << "\n";
+            std::exit(1);
+        }
+        if (rep == 0) {
+            result.checksum = checksum;
+        } else if (checksum != result.checksum) {
+            std::cerr << "checksum varies across repeats!\n";
+            std::exit(1);
+        }
+        result.steals = steals;
+        result.chunks = chunks;
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace gb;
+    const auto options = bench::Options::parse(argc, argv);
+    bench::printHeader("Ablation: parallelFor schedule policy",
+                       "scheduling overhead vs load balance "
+                       "(docs/threading.md)",
+                       options);
+    const unsigned threads = options.threads ? options.threads : 8;
+    const int reps = 3;
+
+    // --- 1. Synthetic skew x grain sweep -----------------------------
+    const Shape shapes[] = {
+        // Scheduling-overhead regime: uniform, very cheap bodies.
+        {"uniform-fine", 1u << 18,
+         [](u64, u64) -> u64 { return 8; }},
+        // Load-balance regime: the last 1% of indices are 200x heavier
+        // (a back-loaded tail like phmm's long reads).
+        {"tail-heavy", 1u << 14,
+         [](u64 i, u64 n) -> u64 {
+             return i >= n - n / 100 ? 3200 : 16;
+         }},
+        // Front-loaded: heavy indices first, so a rank's static range
+        // share is maximally unequal mid-run and stealing must move
+        // work forward.
+        {"front-heavy", 1u << 14,
+         [](u64 i, u64 n) -> u64 {
+             return i < n / 100 ? 3200 : 16;
+         }},
+    };
+
+    ThreadPool pool(threads);
+    Table synth("Synthetic loops, " + std::to_string(threads) +
+                " threads (best of " + std::to_string(reps) + ")");
+    synth.setHeader({"shape", "schedule", "grain", "time (ms)",
+                     "speedup", "chunks", "steals"});
+    for (const auto& shape : shapes) {
+        for (u64 grain : {u64{1}, u64{8}, u64{64}}) {
+            const auto dyn = runSynthetic(
+                pool, SchedulePolicy::kDynamic, shape, grain, reps);
+            const auto steal = runSynthetic(
+                pool, SchedulePolicy::kSteal, shape, grain, reps);
+            if (dyn.checksum != steal.checksum) {
+                std::cerr << "policy checksum mismatch on "
+                          << shape.name << "!\n";
+                return 1;
+            }
+            const std::string label =
+                std::string(shape.name) + "/g" + std::to_string(grain);
+            synth.newRow()
+                .cell(label)
+                .cell("dynamic")
+                .cell(grain)
+                .cellF(dyn.best_seconds * 1e3, 3)
+                .cellF(1.0, 2)
+                .cell(dyn.chunks)
+                .cell(dyn.steals);
+            synth.newRow()
+                .cell(label)
+                .cell("steal")
+                .cell(grain)
+                .cellF(steal.best_seconds * 1e3, 3)
+                .cellF(dyn.best_seconds / steal.best_seconds, 2)
+                .cell(steal.chunks)
+                .cell(steal.steals);
+        }
+    }
+    bench::report(synth);
+
+    // --- 2. Suite kernels under both policies ------------------------
+    // Default to the fine-grained kernels the policy switch targets;
+    // --kernels overrides.
+    const std::vector<std::string> kernel_names =
+        options.kernels.empty()
+            ? std::vector<std::string>{"nn-variant", "pileup", "fmi",
+                                       "kmer-cnt"}
+            : options.kernels;
+
+    Table kern("Suite kernels, " + std::to_string(threads) +
+               " threads (best of " + std::to_string(reps) + ")");
+    kern.setHeader({"kernel", "schedule", "time (s)", "speedup",
+                    "tasks", "steals"});
+    for (const auto& name : kernel_names) {
+        auto kernel = createKernel(name);
+        kernel->setEngine(options.engine);
+        kernel->prepare(options.size);
+
+        double best[2] = {1e300, 1e300};
+        u64 tasks[2] = {0, 0};
+        u64 steals[2] = {0, 0};
+        const SchedulePolicy policies[2] = {SchedulePolicy::kDynamic,
+                                            SchedulePolicy::kSteal};
+        kernel->run(pool); // warm-up (first-touch, cache fill)
+        for (int p = 0; p < 2; ++p) {
+            pool.setSchedule(policies[p]);
+            for (int rep = 0; rep < reps; ++rep) {
+                pool.resetTelemetry();
+                WallTimer timer;
+                tasks[p] = kernel->run(pool);
+                best[p] = std::min(best[p], timer.seconds());
+                for (const auto& rank : pool.telemetry()) {
+                    steals[p] += rank.steals;
+                }
+            }
+        }
+        if (tasks[0] != tasks[1]) {
+            std::cerr << "task count differs across policies on "
+                      << name << ": " << tasks[0] << " vs " << tasks[1]
+                      << "\n";
+            return 1;
+        }
+        for (int p = 0; p < 2; ++p) {
+            kern.newRow()
+                .cell(name)
+                .cell(schedulePolicyName(policies[p]))
+                .cellF(best[p], 3)
+                .cellF(best[0] / best[p], 2)
+                .cell(tasks[p])
+                .cell(steals[p]);
+        }
+    }
+    bench::report(kern);
+
+    std::cout
+        << "\nExpected: identical checksums and task counts under both "
+           "policies (the schedules are result-equivalent). kSteal "
+           "wins where per-chunk cursor traffic dominates "
+           "(uniform-fine at grain 1: ~n shared fetch_adds collapse "
+           "to a handful of range claims) and must hold its ground on "
+           "the skewed shapes, where the steals column shows the "
+           "rebalancing that replaces the cursor. Kernel speedups "
+           "depend on task granularity and core count; see "
+           "EXPERIMENTS.md for dev-host numbers.\n";
+    return 0;
+}

@@ -17,7 +17,7 @@ namespace {
 /** Flags every bench binary understands (name only, sans value). */
 const std::vector<std::string> kKnownFlags = {
     "--size", "--threads", "--kernels", "--cache-dir",
-    "--engine", "--json", "--help"};
+    "--engine", "--schedule", "--json", "--help"};
 
 constexpr const char* kUsage =
     "usage: bench_* [options]\n"
@@ -25,6 +25,8 @@ constexpr const char* kUsage =
     "  --threads=N              worker threads for timed runs\n"
     "  --kernels=a,b,c          restrict to a kernel subset\n"
     "  --engine=scalar|simd     timed-run execution engine\n"
+    "  --schedule=dynamic|steal ThreadPool policy for timed runs "
+    "(docs/threading.md)\n"
     "  --cache-dir=DIR          gb::store artifact cache\n"
     "  --json=FILE              write gb-metrics-v1 JSON "
     "(docs/metrics.md)\n"
@@ -133,6 +135,8 @@ Options::parseStrict(int argc, char** argv, DatasetSize default_size)
                          "--cache-dir expects a directory path");
         } else if (arg.rfind("--engine=", 0) == 0) {
             opt.engine = parseEngine(value("--engine="));
+        } else if (arg.rfind("--schedule=", 0) == 0) {
+            opt.schedule = parseSchedulePolicy(value("--schedule="));
         } else if (arg.rfind("--json=", 0) == 0) {
             opt.json_path = value("--json=");
             requireInput(!opt.json_path.empty(),
@@ -243,7 +247,8 @@ printHeader(const std::string& experiment, const std::string& paper_ref,
               << ", threads: "
               << (options.threads ? std::to_string(options.threads)
                                   : std::string("auto"))
-              << ", engine: " << engineName(options.engine);
+              << ", engine: " << engineName(options.engine)
+              << ", schedule: " << schedulePolicyName(options.schedule);
     if (!options.cache_dir.empty()) {
         std::cout << ", artifact cache: " << options.cache_dir;
     }

@@ -9,8 +9,10 @@
 # baselines/gb-metrics-v1.tiny.json (tolerance via GB_BENCH_TOLERANCE,
 # percent), an end-to-end artifact-cache smoke test (store build ->
 # store verify -> warm bench run + corruption and bad-flag rejection
-# checks), and a gb::serve smoke test (8-job list through the
-# scheduler, JSON validated, single-flight prepare asserted).
+# checks), a schedule-policy equivalence smoke (`run --schedule=steal`
+# task counters must match the dynamic run — docs/threading.md), and a
+# gb::serve smoke test (8-job list through the scheduler, JSON
+# validated, single-flight prepare asserted).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -63,9 +65,11 @@ fi
 
 # ------------------------------------------------------- TSan build
 # The scheduler telemetry writes per-rank slots from worker threads,
-# and the gb::serve scheduler runs jobs on detached runner threads
-# over a shared worker budget; TSan proves the thread-pool accounting,
-# the metrics plumbing and the serving layer are race-free.
+# the kSteal policy CASes packed range words across ranks, and the
+# gb::serve scheduler runs jobs on detached runner threads over a
+# shared worker budget; TSan proves the thread-pool accounting, the
+# steal protocol, the metrics plumbing and the serving layer are
+# race-free.
 if [[ $SKIP_SAN -eq 0 ]]; then
     step "TSan: build + run thread-pool, metrics and serve tests"
     cmake -B build-tsan -S . \
@@ -74,6 +78,10 @@ if [[ $SKIP_SAN -eq 0 ]]; then
         >/dev/null
     cmake --build build-tsan -j"$JOBS" --target test_util test_metrics \
         test_serve
+    # The randomized scheduler stress first (both policies, skewed and
+    # throwing bodies — docs/threading.md), then the full suites.
+    ./build-tsan/tests/test_util \
+        --gtest_filter='ThreadPool.SchedulerStress*:ThreadPool.Steal*'
     ./build-tsan/tests/test_util --gtest_brief=1
     ./build-tsan/tests/test_metrics --gtest_brief=1
     ./build-tsan/tests/test_serve --gtest_brief=1
@@ -133,6 +141,30 @@ grep -q "1 hit" /tmp/gb_warm.txt || {
     echo "FAIL: warm run did not hit the artifact cache" >&2
     exit 1
 }
+
+# Schedule-policy equivalence: the same kernel under --schedule=steal
+# must report exactly the task counters of the --schedule=dynamic run
+# (the policies move indices between ranks, never change the work —
+# docs/threading.md).
+step "schedule: run --schedule=steal counters match dynamic"
+"$GB" run fmi --size=tiny --cache-dir="$CACHE" --repeat=2 \
+    --json=/tmp/gb_sched_dyn.json >/dev/null
+"$GB" run fmi --size=tiny --cache-dir="$CACHE" --repeat=2 \
+    --schedule=steal --json=/tmp/gb_sched_steal.json >/dev/null
+python3 - /tmp/gb_sched_dyn.json /tmp/gb_sched_steal.json <<'EOF'
+import json, sys
+def load(path, want_schedule):
+    doc = json.load(open(path))
+    runs = [r for r in doc["rows"] if r["table"] == "run"]
+    assert runs, f"{path}: no run rows"
+    for r in runs:
+        assert r["schedule"] == want_schedule, r
+    return sorted(r["tasks"] for r in runs)
+dyn = load(sys.argv[1], "dynamic")
+steal = load(sys.argv[2], "steal")
+assert dyn == steal, f"task counters diverge: {dyn} vs {steal}"
+print(f"schedule smoke ok: tasks {dyn} identical under both policies")
+EOF
 
 # A flipped byte must be caught by store verify (exit 1).
 victim=$(ls "$CACHE"/fmi-*.gbs | head -1)

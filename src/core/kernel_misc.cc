@@ -135,9 +135,7 @@ class KmerCntKernel final : public Benchmark
                 }
             },
             1);
-        for (unsigned t = 1; t < threads; ++t) {
-            tables[0]->merge(*tables[t]);
-        }
+        treeMergeKmerTables(tables, pool);
         return batches_.size();
     }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace gb {
 
 u64
@@ -99,6 +101,26 @@ KmerCounter::merge(const KmerCounter& other)
         counts_[slot] =
             static_cast<u16>(total > kMaxCount ? kMaxCount : total);
     });
+}
+
+void
+treeMergeKmerTables(std::vector<std::unique_ptr<KmerCounter>>& tables,
+                    ThreadPool& pool)
+{
+    const size_t n = tables.size();
+    for (size_t stride = 1; stride < n; stride *= 2) {
+        // Round r: merge (i, i+stride) for every i at 2*stride pitch.
+        // Destinations are disjoint, so the pairs merge concurrently.
+        std::vector<size_t> pairs;
+        for (size_t i = 0; i + stride < n; i += 2 * stride) {
+            pairs.push_back(i);
+        }
+        pool.parallelFor(pairs.size(), [&](u64 p) {
+            const size_t dst = pairs[p];
+            tables[dst]->merge(*tables[dst + stride]);
+            tables[dst + stride].reset();
+        });
+    }
 }
 
 KmerCounter::DisplacementStats

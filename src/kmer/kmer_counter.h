@@ -17,6 +17,7 @@
 #ifndef GB_KMER_KMER_COUNTER_H
 #define GB_KMER_KMER_COUNTER_H
 
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "util/common.h"
 
 namespace gb {
+
+class ThreadPool;
 
 /** Pack the canonical form (min of k-mer and its reverse complement). */
 u64 canonicalKmer(u64 kmer, u32 k);
@@ -219,6 +222,19 @@ class KmerCounter
     std::vector<u64> keys_;   // SoA: keys and counts in separate lines
     std::vector<u16> counts_;
 };
+
+/**
+ * Merge tables[1..] into tables[0] with a parallel tree reduction over
+ * the pool: round r merges pairs (i, i+2^r) concurrently, so the merge
+ * chain costs O(log T) rounds instead of T-1 serial merges. Saturating
+ * addition is associative and commutative, so the final (kmer, count)
+ * entry set is identical to the serial left-fold (slot layout may
+ * differ — compare via forEachEntry, not raw arrays). Merged-from
+ * tables are released as soon as they are consumed.
+ */
+void treeMergeKmerTables(
+    std::vector<std::unique_ptr<KmerCounter>>& tables,
+    ThreadPool& pool);
 
 /** Aggregate result of the counting kernel. */
 struct KmerCountStats

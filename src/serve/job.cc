@@ -11,8 +11,9 @@ JobSpec::describe() const
 {
     std::ostringstream out;
     out << kernel << " size=" << datasetSizeName(size)
-        << " engine=" << engineName(engine) << " t=" << threads << " x"
-        << repeats;
+        << " engine=" << engineName(engine)
+        << " schedule=" << schedulePolicyName(schedule)
+        << " t=" << threads << " x" << repeats;
     return out.str();
 }
 
@@ -88,10 +89,16 @@ parseJobLine(const std::string& line)
             requireInput(!have_repeats, "job: duplicate key: repeats");
             spec.repeats = parseCount(key, value);
             have_repeats = true;
+        } else if (key == "schedule") {
+            requireInput(!spec.schedule_set,
+                         "job: duplicate key: schedule");
+            spec.schedule = parseSchedulePolicy(value);
+            spec.schedule_set = true;
         } else {
             throw InputError(
                 "job: unknown key: " + key +
-                " (expected size, engine, threads or repeats)");
+                " (expected size, engine, threads, repeats or "
+                "schedule)");
         }
     }
     requireInput(have_kernel, "job: missing kernel name");

@@ -10,7 +10,7 @@
  *
  *   # comment / blank lines are skipped
  *   fmi size=tiny threads=2 repeats=3
- *   bsw size=small engine=simd
+ *   bsw size=small engine=simd schedule=steal
  *   kmer-cnt                       # defaults: tiny, scalar, 1, 1
  *
  * Validation is strict and up-front: unknown kernels, keys, sizes or
@@ -25,6 +25,7 @@
 
 #include "core/benchmark.h"
 #include "util/common.h"
+#include "util/thread_pool.h"
 
 namespace gb::serve {
 
@@ -36,8 +37,16 @@ struct JobSpec
     Engine engine = Engine::kScalar;
     unsigned threads = 1; ///< worker threads requested for this job
     unsigned repeats = 1; ///< timed run() repeats
+    /** ThreadPool policy for the job's pool (docs/threading.md). */
+    SchedulePolicy schedule = SchedulePolicy::kDynamic;
+    /** True when the job line carried its own schedule= key, so a
+     *  CLI-level --schedule default must not override it. */
+    bool schedule_set = false;
 
-    /** One-line display form ("fmi size=tiny engine=scalar t=2 x3"). */
+    /**
+     * One-line display form
+     * ("fmi size=tiny engine=scalar schedule=dynamic t=2 x3").
+     */
     std::string describe() const;
 };
 
@@ -51,7 +60,8 @@ void validateSpec(const JobSpec& spec,
 
 /**
  * Parse one job line: `<kernel> [size=S] [engine=E] [threads=N]
- * [repeats=R]`, whitespace-separated, keys in any order. Throws
+ * [repeats=R] [schedule=dynamic|steal]`, whitespace-separated, keys in
+ * any order. Throws
  * InputError on malformed input (unknown key, duplicate key, bad
  * value, missing kernel). Registry validation is separate
  * (validateSpec) so the parser stays usable with test registries.

@@ -253,6 +253,7 @@ Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted)
         // This job's slice of the worker budget: the runner thread is
         // rank 0, the pool spawns granted-1 more.
         ThreadPool pool(granted);
+        pool.setSchedule(job->spec.schedule);
         double best = 1e300;
         for (unsigned r = 0; r < job->spec.repeats; ++r) {
             WallTimer timer;

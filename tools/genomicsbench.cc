@@ -5,14 +5,15 @@
  *   genomicsbench list
  *   genomicsbench info <kernel>
  *   genomicsbench run <kernel> [--size=S] [--threads=N] [--repeat=R]
- *                    [--cache-dir=DIR]
+ *                    [--schedule=dynamic|steal] [--cache-dir=DIR]
  *   genomicsbench characterize <kernel> [--size=S] [--cache-dir=DIR]
  *   genomicsbench store build [--cache-dir=DIR] [--size=S]
  *                    [--kernels=a,b,c]
  *   genomicsbench store inspect <file.gbs>
  *   genomicsbench store verify <file.gbs>... | --cache-dir=DIR
  *   genomicsbench serve --jobs=FILE [--workers=N]
- *                    [--queue-depth=K] [--cache-dir=DIR] [--json=FILE]
+ *                    [--queue-depth=K] [--schedule=dynamic|steal]
+ *                    [--cache-dir=DIR] [--json=FILE]
  *
  * `run` times the kernel (wall clock, tasks/s); `characterize` prints
  * the operation mix, cache behaviour and top-down attribution for one
@@ -67,7 +68,8 @@ usage()
            "  genomicsbench info <kernel>\n"
            "  genomicsbench run <kernel> [--size=tiny|small|large]"
            " [--threads=N] [--repeat=R] [--engine=scalar|simd]"
-           " [--cache-dir=DIR] [--json=FILE]\n"
+           " [--schedule=dynamic|steal] [--cache-dir=DIR]"
+           " [--json=FILE]\n"
            "  genomicsbench characterize <kernel>"
            " [--size=tiny|small|large] [--cache-dir=DIR]"
            " [--json=FILE]\n"
@@ -77,7 +79,8 @@ usage()
            "  genomicsbench store verify <file.gbs>... |"
            " --cache-dir=DIR\n"
            "  genomicsbench serve --jobs=FILE [--workers=N]"
-           " [--queue-depth=K] [--cache-dir=DIR] [--json=FILE]\n";
+           " [--queue-depth=K] [--schedule=dynamic|steal]"
+           " [--cache-dir=DIR] [--json=FILE]\n";
     return 2;
 }
 
@@ -127,7 +130,7 @@ cmdInfo(const std::string& name)
 
 int
 cmdRun(const std::string& name, DatasetSize size, unsigned threads,
-       unsigned repeat, Engine engine)
+       unsigned repeat, Engine engine, SchedulePolicy schedule)
 {
     auto kernel = createKernel(name);
     kernel->setEngine(engine);
@@ -145,6 +148,7 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     std::cout << '\n';
 
     ThreadPool pool(threads);
+    pool.setSchedule(schedule);
     // One counter group per pool thread, summed per repeat, so the
     // reported counters cover the whole run at any thread count.
     metrics::PooledCounters counters(pool);
@@ -168,6 +172,7 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
                   << " tasks/s)\n";
         g_sink.newRow("run")
             .str("kernel", name)
+            .str("schedule", schedulePolicyName(schedule))
             .count("repeat", r + 1)
             .num("seconds", seconds)
             .count("tasks", tasks)
@@ -197,6 +202,7 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     }
     g_sink.newRow("run_best")
         .str("kernel", name)
+        .str("schedule", schedulePolicyName(schedule))
         .num("seconds", best)
         .count("threads", pool.numThreads())
         .flag("counters_available", best_sample.available)
@@ -365,13 +371,18 @@ cmdStoreVerify(std::vector<std::string> paths)
  */
 int
 cmdServe(const std::string& jobs_path, unsigned workers,
-         size_t queue_depth)
+         size_t queue_depth, SchedulePolicy schedule)
 {
     if (jobs_path.empty()) {
         std::cerr << "error: serve requires --jobs=FILE\n";
         return 2;
     }
-    const auto specs = serve::parseJobFile(jobs_path);
+    auto specs = serve::parseJobFile(jobs_path);
+    // --schedule is the default policy for jobs whose line has no
+    // schedule= key of its own.
+    for (auto& spec : specs) {
+        if (!spec.schedule_set) spec.schedule = schedule;
+    }
 
     const auto& cache = store::globalCache();
     const u64 builds0 = cache.builds();
@@ -426,6 +437,7 @@ cmdServe(const std::string& jobs_path, unsigned workers,
             .str("kernel", spec.kernel)
             .str("size", datasetSizeName(spec.size))
             .str("engine", engineName(spec.engine))
+            .str("schedule", schedulePolicyName(spec.schedule))
             .count("threads", m.pool_threads ? m.pool_threads
                                              : spec.threads)
             .count("repeats", spec.repeats)
@@ -497,6 +509,7 @@ main(int argc, char** argv)
         unsigned threads = 0;
         unsigned repeat = 3;
         Engine engine = Engine::kScalar;
+        SchedulePolicy schedule = SchedulePolicy::kDynamic;
         std::string json_path;
         std::string jobs_path;
         unsigned workers = 0;
@@ -515,6 +528,8 @@ main(int argc, char** argv)
                     std::stoul(arg.substr(9)));
             } else if (arg.rfind("--engine=", 0) == 0) {
                 engine = parseEngine(arg.substr(9));
+            } else if (arg.rfind("--schedule=", 0) == 0) {
+                schedule = parseSchedulePolicy(arg.substr(11));
             } else if (arg.rfind("--cache-dir=", 0) == 0) {
                 store::setCacheDir(arg.substr(12));
             } else if (arg.rfind("--json=", 0) == 0) {
@@ -574,14 +589,16 @@ main(int argc, char** argv)
 
         if (command == "serve") {
             if (!positional.empty()) return usage();
-            return cmdServe(jobs_path, workers, queue_depth);
+            return cmdServe(jobs_path, workers, queue_depth,
+                            schedule);
         }
 
         if (positional.size() != 1) return usage();
         const std::string kernel = positional.front();
         if (command == "info") return cmdInfo(kernel);
         if (command == "run") {
-            return cmdRun(kernel, size, threads, repeat, engine);
+            return cmdRun(kernel, size, threads, repeat, engine,
+                          schedule);
         }
         if (command == "characterize") {
             return cmdCharacterize(kernel, size);
