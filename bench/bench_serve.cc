@@ -126,6 +126,11 @@ main(int argc, char** argv)
                     spec.size = options.size;
                     spec.engine = options.engine;
                     spec.threads = 1;
+                    // Mixed priority classes exercise the classed
+                    // dispatch path; with identical jobs the
+                    // throughput result is unchanged.
+                    spec.priority =
+                        static_cast<serve::Priority>(i % 3);
                     handles.push_back(scheduler.submit(spec));
                 }
                 scheduler.drain();

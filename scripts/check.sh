@@ -10,9 +10,11 @@
 # percent), an end-to-end artifact-cache smoke test (store build ->
 # store verify -> warm bench run + corruption and bad-flag rejection
 # checks), a schedule-policy equivalence smoke (`run --schedule=steal`
-# task counters must match the dynamic run — docs/threading.md), and a
+# task counters must match the dynamic run — docs/threading.md), a
 # gb::serve smoke test (8-job list through the scheduler, JSON
-# validated, single-flight prepare asserted).
+# validated, single-flight prepare asserted), and a gb::net loopback
+# smoke (`serve --listen` driven by the `client` subcommand over
+# 127.0.0.1, priority dispatch order asserted from the JSON).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -65,19 +67,20 @@ fi
 
 # ------------------------------------------------------- TSan build
 # The scheduler telemetry writes per-rank slots from worker threads,
-# the kSteal policy CASes packed range words across ranks, and the
+# the kSteal policy CASes packed range words across ranks, the
 # gb::serve scheduler runs jobs on detached runner threads over a
-# shared worker budget; TSan proves the thread-pool accounting, the
-# steal protocol, the metrics plumbing and the serving layer are
-# race-free.
+# shared worker budget, and the gb::net server multiplexes session
+# threads, an accept loop and wake pipes over one scheduler; TSan
+# proves the thread-pool accounting, the steal protocol, the metrics
+# plumbing, the serving layer and the network layer are race-free.
 if [[ $SKIP_SAN -eq 0 ]]; then
-    step "TSan: build + run thread-pool, metrics and serve tests"
+    step "TSan: build + run thread-pool, metrics, serve and net tests"
     cmake -B build-tsan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
         >/dev/null
     cmake --build build-tsan -j"$JOBS" --target test_util test_metrics \
-        test_serve
+        test_serve test_net
     # The randomized scheduler stress first (both policies, skewed and
     # throwing bodies — docs/threading.md), then the full suites.
     ./build-tsan/tests/test_util \
@@ -85,6 +88,7 @@ if [[ $SKIP_SAN -eq 0 ]]; then
     ./build-tsan/tests/test_util --gtest_brief=1
     ./build-tsan/tests/test_metrics --gtest_brief=1
     ./build-tsan/tests/test_serve --gtest_brief=1
+    ./build-tsan/tests/test_net --gtest_brief=1
 fi
 
 # ------------------------------------------------------- metrics smoke
@@ -211,6 +215,71 @@ assert len(jobs) == 8 and all(j["status"] == "done" for j in jobs)
 print("serve smoke ok: 8/8 jobs done, 1 artifact build")
 EOF
 rm -rf "$SERVE_CACHE" "$SERVE_JOBS"
+
+# ------------------------------------------------ network serve smoke
+# Start `serve --listen` on an ephemeral loopback port, drive a mixed-
+# priority 8-job list through the `client` subcommand (DRAIN at the
+# end shuts the server down), then assert from the server's JSON that
+# (a) all jobs completed with one artifact build and (b) the dispatch
+# order respected the priority classes: job 1 (high, repeats=40) pins
+# the single worker while the other 7 queue, so every later dispatch
+# must come out high -> normal -> batch regardless of submission
+# order.
+step "net: serve --listen + client over 127.0.0.1, priority order"
+NET_CACHE=$(mktemp -d)
+NET_JOBS=$(mktemp)
+NET_LOG=$(mktemp)
+{
+    echo "fmi size=tiny threads=1 repeats=40 priority=high"
+    echo "fmi size=tiny threads=1 priority=batch"
+    echo "fmi size=tiny threads=1 priority=normal"
+    echo "fmi size=tiny threads=1 priority=high"
+    echo "fmi size=tiny threads=1 priority=batch"
+    echo "fmi size=tiny threads=1 priority=normal"
+    echo "fmi size=tiny threads=1 priority=high"
+    echo "fmi size=tiny threads=1 priority=batch"
+} > "$NET_JOBS"
+"$GB" serve --listen=127.0.0.1:0 --workers=1 \
+    --cache-dir="$NET_CACHE" --json=/tmp/gb_net_serve.json \
+    > "$NET_LOG" 2>&1 &
+NET_PID=$!
+NET_PORT=
+for _ in $(seq 1 100); do
+    NET_PORT=$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$NET_LOG")
+    [[ -n "$NET_PORT" ]] && break
+    sleep 0.1
+done
+if [[ -z "$NET_PORT" ]]; then
+    echo "FAIL: serve --listen did not come up" >&2
+    cat "$NET_LOG" >&2
+    kill "$NET_PID" 2>/dev/null || true
+    exit 1
+fi
+"$GB" client --connect=127.0.0.1:"$NET_PORT" --jobs="$NET_JOBS" --drain
+wait "$NET_PID"
+python3 scripts/bench_compare.py --self-check /tmp/gb_net_serve.json
+python3 - /tmp/gb_net_serve.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+summary = [r for r in doc["rows"] if r["table"] == "serve_summary"][0]
+assert summary["completed"] == 8, summary
+assert summary["cache_builds"] == 1, \
+    f"single-flight violated: {summary['cache_builds']} builds"
+jobs = [r for r in doc["rows"] if r["table"] == "serve_job"]
+assert len(jobs) == 8 and all(j["status"] == "done" for j in jobs)
+seqs = sorted(j["dispatch_seq"] for j in jobs)
+assert seqs == list(range(1, 9)), f"bad dispatch seqs: {seqs}"
+# Strict class order for everything queued behind the first dispatch.
+rank = {"high": 0, "normal": 1, "batch": 2}
+ordered = sorted(jobs, key=lambda j: j["dispatch_seq"])[1:]
+classes = [rank[j["priority"]] for j in ordered]
+assert classes == sorted(classes), \
+    f"priority order violated: {[j['priority'] for j in ordered]}"
+print("net smoke ok: 8/8 jobs done over TCP, 1 build, "
+      f"dispatch classes {classes}")
+EOF
+rm -rf "$NET_CACHE" "$NET_JOBS" "$NET_LOG"
 
 # ------------------------------------------------- CLI error handling
 step "bench CLI: unknown flags are rejected"

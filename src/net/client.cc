@@ -1,0 +1,109 @@
+#include "net/client.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "net/net.h"
+
+namespace gb::net {
+
+namespace {
+
+/**
+ * Job lines exactly as a server-side parseJobFile would see them:
+ * comments stripped, blanks skipped. The server re-parses; the
+ * client stays schema-agnostic so protocol and job-file syntax can
+ * evolve server-side.
+ */
+std::vector<std::string>
+readJobLines(const std::string& path)
+{
+    std::ifstream in(path);
+    requireInput(in.is_open(), "jobs: cannot open '" + path + "'");
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        const size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        const size_t last = line.find_last_not_of(" \t\r");
+        lines.push_back(line.substr(first, last - first + 1));
+    }
+    requireInput(!lines.empty(), "jobs: no jobs in '" + path + "'");
+    return lines;
+}
+
+/** One request -> one reply; throws NetError if the server hung up. */
+std::string
+roundTrip(Connection& conn, const std::string& request)
+{
+    conn.writeLine(request);
+    std::string reply;
+    if (!conn.readLine(&reply)) {
+        throw NetError("server closed the connection (after '" +
+                       request + "')");
+    }
+    return reply;
+}
+
+bool
+isOkDone(const std::string& reply)
+{
+    // "OK <id> done ..." — anything else (failed, cancelled,
+    // rejected, TIMEOUT, ERR) counts against the exit code.
+    std::istringstream tokens(reply);
+    std::string ok, id, status;
+    tokens >> ok >> id >> status;
+    return ok == "OK" && status == "done";
+}
+
+} // namespace
+
+int
+runClient(const ClientOptions& options, std::ostream& out)
+{
+    const auto lines = readJobLines(options.jobs_path);
+    Connection conn = Connection::connectTo(
+        options.host, options.port, options.connect_seconds);
+
+    int failures = 0;
+    std::vector<std::string> ids;
+    for (const auto& line : lines) {
+        const std::string reply =
+            roundTrip(conn, "SUBMIT " + line);
+        out << reply << " <- " << line << '\n';
+        std::istringstream tokens(reply);
+        std::string ok, id;
+        tokens >> ok >> id;
+        if (ok == "OK") {
+            ids.push_back(id);
+        } else {
+            ++failures; // ERR: refused (parse error or queue full)
+        }
+    }
+
+    // Stream terminal statuses in submission order.
+    for (const auto& id : ids) {
+        std::string request = "WAIT " + id;
+        if (options.wait_seconds >= 0.0) {
+            request +=
+                ' ' + std::to_string(options.wait_seconds);
+        }
+        const std::string reply = roundTrip(conn, request);
+        out << reply << '\n';
+        if (!isOkDone(reply)) ++failures;
+    }
+
+    out << roundTrip(conn, "STATS") << '\n';
+    if (options.drain) {
+        const std::string reply = roundTrip(conn, "DRAIN");
+        out << reply << '\n';
+        if (reply != "OK drained") ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace gb::net

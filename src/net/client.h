@@ -1,0 +1,48 @@
+/**
+ * @file
+ * gb::net client — drives a job file against a live `genomicsbench
+ * serve --listen` server over the newline protocol.
+ *
+ * Flow: connect (retrying briefly so "start server; run client"
+ * scripts have no startup race), SUBMIT every job line, then WAIT on
+ * each id in submission order, streaming the status replies to the
+ * given stream as they arrive. Optionally finishes with STATS and
+ * DRAIN. The exit code is the contract scripts build on: 0 only when
+ * every line was admitted and reached kDone.
+ */
+#ifndef GB_NET_CLIENT_H
+#define GB_NET_CLIENT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "util/common.h"
+
+namespace gb::net {
+
+struct ClientOptions
+{
+    std::string host = "127.0.0.1";
+    u16 port = 0;
+    std::string jobs_path;
+    /** Seconds to keep retrying the initial connect. */
+    double connect_seconds = 5.0;
+    /** Per-job WAIT timeout sent to the server; < 0 = no timeout. */
+    double wait_seconds = -1.0;
+    /** Send DRAIN after the waits (server runs dry and shuts down). */
+    bool drain = false;
+};
+
+/**
+ * Run the client; writes one line per server reply to `out`.
+ * @return 0 when every job completed (and DRAIN, if requested,
+ *         succeeded); 1 when any submit was refused, any job ended
+ *         failed/cancelled/rejected, or any WAIT timed out.
+ * Throws InputError on an unusable job file and NetError when the
+ * server cannot be reached or drops the connection.
+ */
+int runClient(const ClientOptions& options, std::ostream& out);
+
+} // namespace gb::net
+
+#endif // GB_NET_CLIENT_H

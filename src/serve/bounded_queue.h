@@ -82,6 +82,16 @@ class BoundedQueue
             if (!items_.empty()) {
                 const size_t index = select(items_);
                 if (index != kNone) {
+                    // A selector bug (index past the deque) must fail
+                    // loudly here, not corrupt the deque via an
+                    // out-of-range operator[]/erase.
+                    if (index >= items_.size()) {
+                        throw InternalError(
+                            "BoundedQueue: selector returned index " +
+                            std::to_string(index) + " with " +
+                            std::to_string(items_.size()) +
+                            " pending items");
+                    }
                     T item = std::move(items_[index]);
                     items_.erase(items_.begin() +
                                  static_cast<ptrdiff_t>(index));

@@ -6,6 +6,27 @@
 
 namespace gb::serve {
 
+Priority
+parsePriority(const std::string& name)
+{
+    if (name == "high") return Priority::kHigh;
+    if (name == "normal") return Priority::kNormal;
+    if (name == "batch") return Priority::kBatch;
+    throw InputError("job: unknown priority: " + name +
+                     " (expected high, normal or batch)");
+}
+
+const char*
+priorityName(Priority priority)
+{
+    switch (priority) {
+      case Priority::kHigh: return "high";
+      case Priority::kNormal: return "normal";
+      case Priority::kBatch: return "batch";
+    }
+    return "?";
+}
+
 std::string
 JobSpec::describe() const
 {
@@ -13,6 +34,7 @@ JobSpec::describe() const
     out << kernel << " size=" << datasetSizeName(size)
         << " engine=" << engineName(engine)
         << " schedule=" << schedulePolicyName(schedule)
+        << " priority=" << priorityName(priority)
         << " t=" << threads << " x" << repeats;
     return out.str();
 }
@@ -59,6 +81,7 @@ parseJobLine(const std::string& line)
     bool have_kernel = false;
     bool have_size = false, have_engine = false;
     bool have_threads = false, have_repeats = false;
+    bool have_priority = false;
     while (tokens >> token) {
         const size_t eq = token.find('=');
         if (eq == std::string::npos) {
@@ -94,11 +117,16 @@ parseJobLine(const std::string& line)
                          "job: duplicate key: schedule");
             spec.schedule = parseSchedulePolicy(value);
             spec.schedule_set = true;
+        } else if (key == "priority") {
+            requireInput(!have_priority,
+                         "job: duplicate key: priority");
+            spec.priority = parsePriority(value);
+            have_priority = true;
         } else {
             throw InputError(
                 "job: unknown key: " + key +
-                " (expected size, engine, threads, repeats or "
-                "schedule)");
+                " (expected size, engine, threads, repeats, "
+                "schedule or priority)");
         }
     }
     requireInput(have_kernel, "job: missing kernel name");

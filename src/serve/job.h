@@ -9,7 +9,7 @@
  * --jobs=FILE`), one job per line:
  *
  *   # comment / blank lines are skipped
- *   fmi size=tiny threads=2 repeats=3
+ *   fmi size=tiny threads=2 repeats=3 priority=high
  *   bsw size=small engine=simd schedule=steal
  *   kmer-cnt                       # defaults: tiny, scalar, 1, 1
  *
@@ -29,6 +29,30 @@
 
 namespace gb::serve {
 
+/**
+ * Dispatch class of a job. Strict class order: a pending kHigh job
+ * dispatches before any kNormal job, which dispatches before any
+ * kBatch job; within one class jobs go FIFO + big-job aging
+ * (scheduler.h). Starvation of the lower classes is bounded by the
+ * promote-after-N-bypasses rule: a job that higher-class jobs jumped
+ * `promote_limit` times moves up one class.
+ */
+enum class Priority : u8
+{
+    kHigh = 0,
+    kNormal = 1,
+    kBatch = 2,
+};
+
+/** Number of priority classes (array sizing / iteration). */
+inline constexpr int kPriorityClasses = 3;
+
+/** Parse "high" | "normal" | "batch"; throws InputError. */
+Priority parsePriority(const std::string& name);
+
+/** Display name ("high", "normal", "batch"). */
+const char* priorityName(Priority priority);
+
 /** One kernel-run request. */
 struct JobSpec
 {
@@ -42,10 +66,12 @@ struct JobSpec
     /** True when the job line carried its own schedule= key, so a
      *  CLI-level --schedule default must not override it. */
     bool schedule_set = false;
+    /** Dispatch class (`priority=` job-file key; default normal). */
+    Priority priority = Priority::kNormal;
 
     /**
-     * One-line display form
-     * ("fmi size=tiny engine=scalar schedule=dynamic t=2 x3").
+     * One-line display form ("fmi size=tiny engine=scalar
+     * schedule=dynamic priority=normal t=2 x3").
      */
     std::string describe() const;
 };
@@ -60,7 +86,8 @@ void validateSpec(const JobSpec& spec,
 
 /**
  * Parse one job line: `<kernel> [size=S] [engine=E] [threads=N]
- * [repeats=R] [schedule=dynamic|steal]`, whitespace-separated, keys in
+ * [repeats=R] [schedule=dynamic|steal]
+ * [priority=high|normal|batch]`, whitespace-separated, keys in
  * any order. Throws
  * InputError on malformed input (unknown key, duplicate key, bad
  * value, missing kernel). Registry validation is separate

@@ -46,16 +46,24 @@ jobStatusTerminal(JobStatus status)
 
 /**
  * Shared job record. The handle and (while queued) the submission
- * queue co-own it. `bypass_count` belongs to the dispatcher and is
- * only touched under the queue lock (selectIndex); everything below
- * `m` is guarded by it.
+ * queue co-own it. `bypass_count`, `class_bypasses` and
+ * `effective_priority` belong to the dispatcher and are only touched
+ * under the queue lock (selectIndex); everything below `m` is guarded
+ * by it.
  */
 struct JobState
 {
     JobSpec spec;
     Scheduler* owner = nullptr;
     Clock::time_point submitted_at{};
+    /** Times this job, as a class head that did not fit, was jumped
+     *  (same-class aging rule; cross-class jumps count too). */
     unsigned bypass_count = 0;
+    /** Times a higher-class job dispatched past this pending job;
+     *  drives promote-after-N (resets on each promotion). */
+    unsigned class_bypasses = 0;
+    /** Current class: spec.priority, possibly promoted. */
+    Priority effective_priority = Priority::kNormal;
 
     mutable std::mutex m;
     mutable std::condition_variable cv;
@@ -157,20 +165,29 @@ Scheduler::submit(JobSpec spec)
     job->spec = std::move(spec);
     job->owner = this;
     job->submitted_at = Clock::now();
+    job->effective_priority = job->spec.priority;
 
+    // The push and its counter update commit under mutex_ as one
+    // step, so a stats() snapshot never sees a job that is in the
+    // queue but not yet counted (or vice versa). Lock order is
+    // mutex_ -> queue lock; no path acquires them in reverse.
     std::string reason;
-    if (!queue_.tryPush(job, &reason)) {
-        {
-            std::lock_guard<std::mutex> lock(job->m);
-            job->status = JobStatus::kRejected;
-            job->error = reason;
-        }
+    bool admitted;
+    {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++rejected_;
-        return JobHandle(std::move(job));
+        admitted = queue_.tryPush(job, &reason);
+        if (admitted) {
+            ++submitted_;
+            ++queued_;
+        } else {
+            ++rejected_;
+        }
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++submitted_;
+    if (!admitted) {
+        std::lock_guard<std::mutex> lock(job->m);
+        job->status = JobStatus::kRejected;
+        job->error = reason;
+    }
     return JobHandle(std::move(job));
 }
 
@@ -181,19 +198,69 @@ Scheduler::selectIndex(
     using Queue = BoundedQueue<std::shared_ptr<JobState>>;
     if (pending.empty()) return Queue::kNone;
     const unsigned free = free_workers_.load(std::memory_order_acquire);
-    JobState& head = *pending.front();
-    if (clampThreads(head.spec.threads) <= free) return 0;
-    // Head does not fit. Once it has been bypassed aging_limit times
-    // it reserves the budget: nothing younger may jump it, so freed
-    // workers accumulate until the wide job fits.
-    if (head.bypass_count >= config_.aging_limit) return Queue::kNone;
-    for (size_t i = 1; i < pending.size(); ++i) {
-        if (clampThreads(pending[i]->spec.threads) <= free) {
-            ++head.bypass_count;
-            return i;
+
+    // Strict class order: walk high, then normal, then batch; within
+    // a class the deque order is FIFO. Track each class's head
+    // (oldest member) for the aging bookkeeping below.
+    size_t class_head[kPriorityClasses];
+    std::fill(class_head, class_head + kPriorityClasses, Queue::kNone);
+    size_t chosen = Queue::kNone;
+    int chosen_class = kPriorityClasses;
+    for (int cls = 0; cls < kPriorityClasses && chosen == Queue::kNone;
+         ++cls) {
+        for (size_t i = 0; i < pending.size(); ++i) {
+            JobState& job = *pending[i];
+            if (static_cast<int>(job.effective_priority) != cls) {
+                continue;
+            }
+            const bool is_head = class_head[cls] == Queue::kNone;
+            if (is_head) class_head[cls] = i;
+            if (clampThreads(job.spec.threads) <= free) {
+                chosen = i;
+                chosen_class = cls;
+                break;
+            }
+            // An aged-out head reserves the budget: nothing in its
+            // own or a lower class dispatches until it fits, so
+            // freed workers accumulate for the wide job. Higher
+            // classes were already scanned (and had nothing
+            // dispatchable).
+            if (is_head &&
+                job.bypass_count >= config_.aging_limit) {
+                return Queue::kNone;
+            }
         }
     }
-    return Queue::kNone;
+    if (chosen == Queue::kNone) return Queue::kNone;
+
+    // Aging: every class head that did not fit and is now being
+    // jumped — the chosen job's own class head (classic small-over-
+    // wide bypass) and the heads of higher classes — moves one step
+    // closer to reserving the budget.
+    for (int cls = 0; cls <= chosen_class; ++cls) {
+        const size_t head = class_head[cls];
+        if (head != Queue::kNone && head != chosen) {
+            ++pending[head]->bypass_count;
+        }
+    }
+
+    // Promotion: every pending job in a class below the dispatched
+    // one was just bypassed by higher-priority work; after
+    // promote_limit such bypasses it moves up one class so batch
+    // jobs cannot starve behind a steady interactive stream.
+    for (size_t i = 0; i < pending.size(); ++i) {
+        if (i == chosen) continue;
+        JobState& job = *pending[i];
+        if (static_cast<int>(job.effective_priority) <= chosen_class) {
+            continue;
+        }
+        if (++job.class_bypasses >= config_.promote_limit) {
+            job.class_bypasses = 0;
+            job.effective_priority = static_cast<Priority>(
+                static_cast<int>(job.effective_priority) - 1);
+        }
+    }
+    return chosen;
 }
 
 void
@@ -208,9 +275,12 @@ Scheduler::dispatchLoop()
         std::shared_ptr<JobState> job = std::move(*item);
         const unsigned granted = clampThreads(job->spec.threads);
         free_workers_.fetch_sub(granted, std::memory_order_acq_rel);
+        u64 seq = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            --queued_; // it left the queue in popSelect above
             ++running_;
+            seq = ++dispatch_seq_;
             const unsigned busy =
                 workers_ -
                 free_workers_.load(std::memory_order_relaxed);
@@ -220,28 +290,31 @@ Scheduler::dispatchLoop()
         // shutdown waits on; the thread touches no scheduler state
         // after its final decrement.
         std::thread(
-            [this, job = std::move(job), granted]() mutable {
-                runJob(std::move(job), granted);
+            [this, job = std::move(job), granted, seq]() mutable {
+                runJob(std::move(job), granted, seq);
             })
             .detach();
     }
 }
 
 void
-Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted)
+Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted,
+                  u64 dispatch_seq)
 {
     {
         std::lock_guard<std::mutex> lock(job->m);
         job->status = JobStatus::kRunning;
         job->metrics.queue_seconds = secondsSince(job->submitted_at);
         job->metrics.pool_threads = granted;
+        job->metrics.dispatch_seq = dispatch_seq;
     }
 
     JobStatus final_status = JobStatus::kDone;
     std::string error;
     double prepare_seconds = 0.0;
     double run_seconds = 0.0;
-    double best_run_seconds = 0.0;
+    double best = 1e300;
+    unsigned repeats_completed = 0;
     u64 tasks = 0;
     try {
         auto kernel = config_.kernel_factory(job->spec.kernel);
@@ -254,15 +327,14 @@ Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted)
         // rank 0, the pool spawns granted-1 more.
         ThreadPool pool(granted);
         pool.setSchedule(job->spec.schedule);
-        double best = 1e300;
         for (unsigned r = 0; r < job->spec.repeats; ++r) {
             WallTimer timer;
             tasks = kernel->run(pool);
             const double seconds = timer.seconds();
             run_seconds += seconds;
             best = std::min(best, seconds);
+            ++repeats_completed;
         }
-        best_run_seconds = best;
     } catch (const std::exception& e) {
         // Error isolation: the kernel failed, the server did not.
         final_status = JobStatus::kFailed;
@@ -273,10 +345,15 @@ Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted)
     }
 
     {
+        // On a mid-repeat failure the metrics stay mutually
+        // consistent: run_seconds / best_run_seconds / tasks all
+        // describe the repeats_completed repeats that finished.
         std::lock_guard<std::mutex> lock(job->m);
         job->metrics.prepare_seconds = prepare_seconds;
         job->metrics.run_seconds = run_seconds;
-        job->metrics.best_run_seconds = best_run_seconds;
+        job->metrics.best_run_seconds =
+            repeats_completed > 0 ? best : 0.0;
+        job->metrics.repeats_completed = repeats_completed;
         job->metrics.tasks = tasks;
         job->status = final_status;
         job->error = std::move(error);
@@ -316,6 +393,7 @@ Scheduler::cancelJob(const std::shared_ptr<JobState>& job,
         job->cv.notify_all();
     }
     std::lock_guard<std::mutex> lock(mutex_);
+    --queued_;
     ++cancelled_;
     return true;
 }
@@ -323,6 +401,9 @@ Scheduler::cancelJob(const std::shared_ptr<JobState>& job,
 void
 Scheduler::joinDispatcher()
 {
+    // drain()/shutdownNow() may race (e.g. a network DRAIN verb vs a
+    // SIGTERM handler); join() from two threads is UB, so serialize.
+    std::lock_guard<std::mutex> lock(join_mutex_);
     if (dispatcher_.joinable()) dispatcher_.join();
 }
 
@@ -347,6 +428,7 @@ Scheduler::shutdownNow()
             job->cv.notify_all();
         }
         std::lock_guard<std::mutex> lock(mutex_);
+        --queued_;
         ++cancelled_;
     }
     joinDispatcher();
@@ -357,11 +439,16 @@ Scheduler::shutdownNow()
 Scheduler::Stats
 Scheduler::stats() const
 {
+    // One consistent snapshot: every counter (including the queued
+    // count, which is mirrored under mutex_ rather than read from
+    // the queue's own lock) comes from a single critical section, so
+    // submitted == queued + running + completed + failed + cancelled
+    // holds for every caller.
     Stats stats;
     stats.workers = workers_;
     stats.queue_depth = queue_.capacity();
-    stats.queued = queue_.size();
     std::lock_guard<std::mutex> lock(mutex_);
+    stats.queued = queued_;
     stats.submitted = submitted_;
     stats.rejected = rejected_;
     stats.completed = completed_;

@@ -16,12 +16,24 @@
  *    rank 0 of its pool, so N concurrent jobs use at most `workers`
  *    execution threads in total.
  *
- *  - FIFO + big-job aging: jobs dispatch oldest-first; a job whose
- *    thread request does not fit the currently free budget can be
- *    bypassed by later, smaller jobs (small jobs never starve behind
- *    a wide one) — but only `aging_limit` times, after which the head
- *    reserves the budget until it fits (wide jobs never starve
- *    either).
+ *  - Priority classes (high > normal > batch, JobSpec::priority):
+ *    strict class order — a pending high job dispatches before any
+ *    normal job, normal before batch.
+ *
+ *  - FIFO + big-job aging, per class: within one class jobs dispatch
+ *    oldest-first; a job whose thread request does not fit the
+ *    currently free budget can be bypassed by later, smaller jobs
+ *    (small jobs never starve behind a wide one) — but only
+ *    `aging_limit` times, after which the head reserves the budget:
+ *    nothing in its own or a lower class dispatches until it fits
+ *    (wide jobs never starve either). Bypasses by higher-class jobs
+ *    count against the same limit.
+ *
+ *  - Promote-after-N-bypasses: each time a higher-class job
+ *    dispatches past a pending lower-class job, that job's
+ *    class-bypass count grows; at `promote_limit` it moves up one
+ *    class (batch -> normal -> high), so batch jobs cannot starve
+ *    behind a steady stream of interactive work.
  *
  *  - Shared prepare: kernels build-or-load prepared artifacts through
  *    the process-global store::ArtifactCache, whose single-flight
@@ -73,10 +85,16 @@ struct JobMetrics
 {
     double queue_seconds = 0.0;   ///< submit -> dispatch wait
     double prepare_seconds = 0.0; ///< prepare() wall time
-    double run_seconds = 0.0;     ///< total across repeats
+    double run_seconds = 0.0;     ///< total across completed repeats
+    /** Best over *completed* repeats; 0.0 when none completed. */
     double best_run_seconds = 0.0;
-    u64 tasks = 0;                ///< work units of the last repeat
-    unsigned pool_threads = 0;    ///< granted pool size
+    /** Repeats that ran to completion (< spec.repeats on kFailed). */
+    unsigned repeats_completed = 0;
+    u64 tasks = 0; ///< work units of the last completed repeat
+    unsigned pool_threads = 0; ///< granted pool size
+    /** 1-based dispatch order across the scheduler's lifetime;
+     *  0 = never dispatched. */
+    u64 dispatch_seq = 0;
 };
 
 struct JobState; // internal; owned via shared_ptr by handle + queue
@@ -137,9 +155,12 @@ class Scheduler
     {
         unsigned workers = 0;   ///< total budget; 0 = hardware threads
         size_t queue_depth = 64;
-        /** Bypasses the queue head tolerates before it reserves the
+        /** Bypasses a class head tolerates before it reserves the
          *  budget (see file comment). */
         unsigned aging_limit = 4;
+        /** Higher-class dispatches past a pending job before it is
+         *  promoted one priority class (see file comment). */
+        unsigned promote_limit = 16;
         /** Kernel instantiation; default createKernel(). */
         KernelFactory kernel_factory;
         /** Valid kernel names for submit(); default kernelNames(). */
@@ -180,8 +201,10 @@ class Scheduler
 
     /**
      * Graceful shutdown: stop admissions, execute everything already
-     * queued, return when the last job finished. Idempotent; submit()
-     * after drain() is rejected.
+     * queued, return when the last job finished. Idempotent and safe
+     * to call from several threads at once (a network DRAIN verb and
+     * a SIGTERM handler may race); submit() after drain() is
+     * rejected.
      */
     void drain();
 
@@ -199,7 +222,8 @@ class Scheduler
 
   private:
     void dispatchLoop();
-    void runJob(std::shared_ptr<JobState> job, unsigned granted);
+    void runJob(std::shared_ptr<JobState> job, unsigned granted,
+                u64 dispatch_seq);
     size_t selectIndex(
         const std::deque<std::shared_ptr<JobState>>& pending);
     unsigned clampThreads(unsigned requested) const;
@@ -214,8 +238,16 @@ class Scheduler
     BoundedQueue<std::shared_ptr<JobState>> queue_;
     std::atomic<unsigned> free_workers_{0};
 
-    mutable std::mutex mutex_; ///< guards counters + running_
+    /**
+     * Guards every counter below. Queue membership changes and their
+     * counter updates commit under this one mutex (tryPush happens
+     * inside it), so stats() snapshots are never torn: submitted ==
+     * queued + running + completed + failed + cancelled holds for
+     * every observer.
+     */
+    mutable std::mutex mutex_;
     std::condition_variable idle_cv_;
+    size_t queued_ = 0; ///< admitted, not yet dispatched or cancelled
     unsigned running_ = 0;
     unsigned peak_busy_ = 0;
     u64 submitted_ = 0;
@@ -223,7 +255,9 @@ class Scheduler
     u64 completed_ = 0;
     u64 failed_ = 0;
     u64 cancelled_ = 0;
+    u64 dispatch_seq_ = 0; ///< jobs dispatched so far (1-based seq)
 
+    std::mutex join_mutex_; ///< serializes dispatcher_.join()
     std::thread dispatcher_;
 };
 

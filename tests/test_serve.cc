@@ -88,10 +88,40 @@ TEST(ServeJob, DescribeIncludesSchedule)
     JobSpec spec = serve::parseJobLine(
         "fmi size=tiny threads=2 repeats=3");
     EXPECT_EQ(spec.describe(),
-              "fmi size=tiny engine=scalar schedule=dynamic t=2 x3");
+              "fmi size=tiny engine=scalar schedule=dynamic "
+              "priority=normal t=2 x3");
     spec.schedule = SchedulePolicy::kSteal;
+    spec.priority = serve::Priority::kBatch;
     EXPECT_EQ(spec.describe(),
-              "fmi size=tiny engine=scalar schedule=steal t=2 x3");
+              "fmi size=tiny engine=scalar schedule=steal "
+              "priority=batch t=2 x3");
+}
+
+TEST(ServeJob, ParseLinePriority)
+{
+    EXPECT_EQ(serve::parseJobLine("fmi").priority,
+              serve::Priority::kNormal);
+    EXPECT_EQ(serve::parseJobLine("fmi priority=high").priority,
+              serve::Priority::kHigh);
+    EXPECT_EQ(serve::parseJobLine("fmi priority=normal").priority,
+              serve::Priority::kNormal);
+    EXPECT_EQ(serve::parseJobLine("fmi priority=batch").priority,
+              serve::Priority::kBatch);
+    EXPECT_THROW(serve::parseJobLine("fmi priority=urgent"),
+                 InputError);
+    EXPECT_THROW(
+        serve::parseJobLine("fmi priority=high priority=high"),
+        InputError);
+}
+
+TEST(ServeJob, PriorityNames)
+{
+    EXPECT_STREQ(serve::priorityName(serve::Priority::kHigh), "high");
+    EXPECT_STREQ(serve::priorityName(serve::Priority::kNormal),
+                 "normal");
+    EXPECT_STREQ(serve::priorityName(serve::Priority::kBatch),
+                 "batch");
+    EXPECT_THROW(serve::parsePriority(""), InputError);
 }
 
 TEST(ServeJob, ParseLineErrors)
@@ -228,9 +258,10 @@ struct FakeControl
 class FakeKernel : public Benchmark
 {
   public:
+    /** throw_on_run: 1-based run() call that throws; 0 = never. */
     FakeKernel(std::string name, FakeControl* control,
-               bool throws = false)
-        : control_(control), throws_(throws)
+               unsigned throw_on_run = 0)
+        : control_(control), throw_on_run_(throw_on_run)
     {
         info_.name = std::move(name);
     }
@@ -243,7 +274,9 @@ class FakeKernel : public Benchmark
     run(ThreadPool&) override
     {
         control_->recordStart(info_.name);
-        if (throws_) throw InputError("kernel exploded: " + info_.name);
+        if (throw_on_run_ && ++runs_ >= throw_on_run_) {
+            throw InputError("kernel exploded: " + info_.name);
+        }
         return 1;
     }
 
@@ -253,33 +286,45 @@ class FakeKernel : public Benchmark
   private:
     Info info_;
     FakeControl* control_;
-    bool throws_;
+    unsigned throw_on_run_;
+    unsigned runs_ = 0;
 };
 
-/** Scheduler config whose registry is the given fake kernel names. */
+/** Scheduler config whose registry is the given fake kernel names.
+ *  Names starting with "boom" throw on the first run() call; names
+ *  starting with "late-boom" complete one repeat, then throw. */
 Scheduler::Config
 fakeConfig(FakeControl* control, std::vector<std::string> names,
            unsigned workers, size_t queue_depth,
-           unsigned aging_limit = 4)
+           unsigned aging_limit = 4, unsigned promote_limit = 16)
 {
     Scheduler::Config config;
     config.workers = workers;
     config.queue_depth = queue_depth;
     config.aging_limit = aging_limit;
+    config.promote_limit = promote_limit;
     config.kernels = names;
     config.kernel_factory = [control](const std::string& name) {
-        const bool throws = name.rfind("boom", 0) == 0;
-        return std::make_unique<FakeKernel>(name, control, throws);
+        unsigned throw_on_run = 0;
+        if (name.rfind("late-boom", 0) == 0) {
+            throw_on_run = 2;
+        } else if (name.rfind("boom", 0) == 0) {
+            throw_on_run = 1;
+        }
+        return std::make_unique<FakeKernel>(name, control,
+                                            throw_on_run);
     };
     return config;
 }
 
 JobSpec
-job(const std::string& kernel, unsigned threads = 1)
+job(const std::string& kernel, unsigned threads = 1,
+    serve::Priority priority = serve::Priority::kNormal)
 {
     JobSpec spec;
     spec.kernel = kernel;
     spec.threads = threads;
+    spec.priority = priority;
     return spec;
 }
 
@@ -415,6 +460,210 @@ TEST(ServeScheduler, KernelThrowIsIsolated)
     const auto stats = scheduler.stats();
     EXPECT_EQ(stats.failed, 1u);
     EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServeScheduler, PriorityClassOrder)
+{
+    FakeControl control;
+    control.gated.insert("R");
+    // One worker: R occupies the budget while the other three queue,
+    // then everything dispatches in strict class order regardless of
+    // submission order.
+    Scheduler scheduler(fakeConfig(&control, {"R", "B", "N", "H"},
+                                   1, 8));
+    auto r = scheduler.submit(job("R"));
+    control.awaitStart("R");
+    auto b = scheduler.submit(
+        job("B", 1, serve::Priority::kBatch));
+    auto n = scheduler.submit(
+        job("N", 1, serve::Priority::kNormal));
+    auto h = scheduler.submit(job("H", 1, serve::Priority::kHigh));
+    control.release("R");
+    scheduler.drain();
+    EXPECT_EQ(control.startOrder(),
+              (std::vector<std::string>{"R", "H", "N", "B"}));
+    EXPECT_EQ(h.metrics().dispatch_seq, 2u);
+    EXPECT_EQ(n.metrics().dispatch_seq, 3u);
+    EXPECT_EQ(b.metrics().dispatch_seq, 4u);
+}
+
+TEST(ServeScheduler, BatchPromotedAfterClassBypasses)
+{
+    FakeControl control;
+    control.gated.insert("R");
+    // promote_limit=1: each high dispatch past the pending batch job
+    // promotes it one class. After H1 it is normal, after H2 high —
+    // and as the oldest high job it then beats H3 to the worker.
+    Scheduler scheduler(fakeConfig(&control,
+                                   {"R", "B", "H1", "H2", "H3"}, 1, 8,
+                                   /*aging_limit=*/4,
+                                   /*promote_limit=*/1));
+    auto r = scheduler.submit(job("R"));
+    control.awaitStart("R");
+    auto b = scheduler.submit(
+        job("B", 1, serve::Priority::kBatch));
+    auto h1 = scheduler.submit(job("H1", 1, serve::Priority::kHigh));
+    auto h2 = scheduler.submit(job("H2", 1, serve::Priority::kHigh));
+    auto h3 = scheduler.submit(job("H3", 1, serve::Priority::kHigh));
+    control.release("R");
+    scheduler.drain();
+    EXPECT_EQ(control.startOrder(),
+              (std::vector<std::string>{"R", "H1", "H2", "B", "H3"}));
+}
+
+TEST(ServeScheduler, FailedRepeatReportsCompletedRepeats)
+{
+    FakeControl control;
+    // "late-boom" completes its first repeat and throws on the
+    // second: the metrics must describe the one completed repeat, not
+    // zeros or the values of the repeat that died.
+    Scheduler scheduler(fakeConfig(&control, {"late-boom"}, 1, 4));
+    auto spec = job("late-boom");
+    spec.repeats = 3;
+    auto handle = scheduler.submit(spec);
+    handle.wait();
+    EXPECT_EQ(handle.status(), JobStatus::kFailed);
+    EXPECT_NE(handle.error().find("kernel exploded"),
+              std::string::npos);
+    const auto m = handle.metrics();
+    EXPECT_EQ(m.repeats_completed, 1u);
+    EXPECT_GT(m.best_run_seconds, 0.0);
+    EXPECT_EQ(m.best_run_seconds, m.run_seconds);
+    EXPECT_EQ(m.tasks, 1u);
+    scheduler.drain();
+}
+
+TEST(ServeScheduler, FailedFirstRepeatReportsZeroBest)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"boom"}, 1, 4));
+    auto spec = job("boom");
+    spec.repeats = 3;
+    auto handle = scheduler.submit(spec);
+    handle.wait();
+    EXPECT_EQ(handle.status(), JobStatus::kFailed);
+    const auto m = handle.metrics();
+    EXPECT_EQ(m.repeats_completed, 0u);
+    // No repeat completed, so there is no "best" to report — the
+    // pre-fix code leaked 0.0-vs-uninitialized inconsistencies here.
+    EXPECT_EQ(m.best_run_seconds, 0.0);
+    EXPECT_EQ(m.run_seconds, 0.0);
+    EXPECT_EQ(m.tasks, 0u);
+    scheduler.drain();
+}
+
+TEST(ServeScheduler, StatsSnapshotsAreConsistentUnderLoad)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"a"}, 2, 4));
+    std::atomic<bool> stop{false};
+    std::atomic<u64> attempts{0};
+
+    // Hammer stats() while submitters race completions: every
+    // snapshot must satisfy the conservation law. Before the fix,
+    // queued came from the queue's own lock while the other counters
+    // came from the scheduler mutex, so torn snapshots double- or
+    // under-counted in-flight jobs.
+    std::thread poller([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto stats = scheduler.stats();
+            EXPECT_EQ(stats.submitted,
+                      stats.queued + stats.running + stats.completed +
+                          stats.failed + stats.cancelled)
+                << "queued=" << stats.queued
+                << " running=" << stats.running
+                << " completed=" << stats.completed;
+        }
+    });
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&] {
+            for (int i = 0; i < 200; ++i) {
+                scheduler.submit(job("a"));
+                attempts.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto& thread : submitters) thread.join();
+    scheduler.drain();
+    stop.store(true, std::memory_order_release);
+    poller.join();
+
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.submitted + stats.rejected, attempts.load());
+    EXPECT_EQ(stats.queued, 0u);
+    EXPECT_EQ(stats.running, 0u);
+    EXPECT_EQ(stats.submitted, stats.completed);
+}
+
+TEST(ServeScheduler, WaitForZeroAndNegativeTimeouts)
+{
+    FakeControl control;
+    control.gated.insert("gate");
+    Scheduler scheduler(fakeConfig(&control, {"gate"}, 1, 4));
+    auto handle = scheduler.submit(job("gate"));
+    control.awaitStart("gate");
+    // Non-terminal job: zero and negative timeouts return false
+    // immediately instead of blocking or throwing.
+    EXPECT_FALSE(handle.waitFor(0.0));
+    EXPECT_FALSE(handle.waitFor(-1.0));
+    control.release("gate");
+    handle.wait();
+    // Terminal job: every timeout (even negative) reports true.
+    EXPECT_TRUE(handle.waitFor(0.0));
+    EXPECT_TRUE(handle.waitFor(-1.0));
+    scheduler.drain();
+}
+
+TEST(ServeScheduler, WaitOnRejectedHandleReturnsImmediately)
+{
+    FakeControl control;
+    control.gated.insert("gate");
+    Scheduler scheduler(fakeConfig(&control, {"gate", "a"}, 1, 1));
+    auto blocker = scheduler.submit(job("gate"));
+    control.awaitStart("gate");
+    auto fill = scheduler.submit(job("a"));
+    auto rejected = scheduler.submit(job("a"));
+    ASSERT_EQ(rejected.status(), JobStatus::kRejected);
+    // kRejected is terminal from birth: wait()/waitFor() never block.
+    rejected.wait();
+    EXPECT_TRUE(rejected.waitFor(0.0));
+    EXPECT_FALSE(rejected.cancel()); // nothing queued to remove
+    EXPECT_EQ(rejected.metrics().dispatch_seq, 0u);
+    control.release("gate");
+    scheduler.drain();
+}
+
+TEST(ServeScheduler, CancelRacesDispatch)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"a"}, 1, 8));
+    // Submit-then-cancel immediately, many times: whatever the race's
+    // outcome, the job must end exactly cancelled XOR started.
+    unsigned cancelled = 0;
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < 200; ++i) {
+        auto handle = scheduler.submit(job("a"));
+        if (handle.cancel()) {
+            ++cancelled;
+            EXPECT_EQ(handle.status(), JobStatus::kCancelled);
+        }
+        handles.push_back(std::move(handle));
+    }
+    scheduler.drain();
+    unsigned done = 0;
+    for (const auto& handle : handles) {
+        const auto status = handle.status();
+        EXPECT_TRUE(status == JobStatus::kDone ||
+                    status == JobStatus::kCancelled);
+        if (status == JobStatus::kDone) ++done;
+    }
+    EXPECT_EQ(done + cancelled, 200u);
+    // A cancelled job never reached run(); a done job did, once.
+    EXPECT_EQ(control.startOrder().size(), done);
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.cancelled, cancelled);
+    EXPECT_EQ(stats.completed, done);
 }
 
 TEST(ServeScheduler, WaitForTimesOut)
@@ -625,6 +874,25 @@ TEST(ServeBoundedQueue, PopSelectPicksByPolicy)
     });
     EXPECT_EQ(smallest.value(), 5);
     EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(ServeBoundedQueue, PopSelectRejectsOutOfRangeIndex)
+{
+    serve::BoundedQueue<int> queue(4);
+    queue.tryPush(1);
+    queue.tryPush(2);
+    // A selector returning a past-the-end index is a policy bug; it
+    // must surface as an error, not silent UB on the deque.
+    EXPECT_THROW(queue.popSelect(
+                     [](const std::deque<int>& q) { return q.size(); }),
+                 InternalError);
+    EXPECT_THROW(queue.popSelect([](const std::deque<int>&) {
+                     return static_cast<size_t>(1u << 20);
+                 }),
+                 InternalError);
+    // The queue survives the bad selector untouched.
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.pop().value(), 1);
 }
 
 } // namespace

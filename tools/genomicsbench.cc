@@ -11,18 +11,25 @@
  *                    [--kernels=a,b,c]
  *   genomicsbench store inspect <file.gbs>
  *   genomicsbench store verify <file.gbs>... | --cache-dir=DIR
- *   genomicsbench serve --jobs=FILE [--workers=N]
- *                    [--queue-depth=K] [--schedule=dynamic|steal]
+ *   genomicsbench serve --jobs=FILE | --listen=HOST:PORT
+ *                    [--workers=N] [--queue-depth=K]
+ *                    [--schedule=dynamic|steal]
  *                    [--cache-dir=DIR] [--json=FILE]
+ *   genomicsbench client --connect=HOST:PORT --jobs=FILE
+ *                    [--wait-timeout=S] [--drain]
  *
  * `run` times the kernel (wall clock, tasks/s); `characterize` prints
  * the operation mix, cache behaviour and top-down attribution for one
  * kernel — the per-kernel view of what the bench_* binaries sweep.
  * The `store` subcommands manage the gb::store artifact cache that
  * --cache-dir consults (see docs/store-format.md). `serve` runs a
- * whole job list through the gb::serve scheduler (docs/serve.md).
+ * whole job list through the gb::serve scheduler (docs/serve.md):
+ * batch mode (--jobs) drains a file, network mode (--listen) accepts
+ * jobs over TCP until DRAIN or SIGTERM. `client` drives a job file
+ * against a network server.
  */
 #include <algorithm>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -36,6 +43,9 @@
 #include "metrics/metrics_sink.h"
 #include "metrics/perf_counters.h"
 #include "metrics/pooled_counters.h"
+#include "net/client.h"
+#include "net/net.h"
+#include "net/server.h"
 #include "serve/job.h"
 #include "serve/scheduler.h"
 #include "simd/simd.h"
@@ -78,9 +88,12 @@ usage()
            "  genomicsbench store inspect <file.gbs>\n"
            "  genomicsbench store verify <file.gbs>... |"
            " --cache-dir=DIR\n"
-           "  genomicsbench serve --jobs=FILE [--workers=N]"
-           " [--queue-depth=K] [--schedule=dynamic|steal]"
-           " [--cache-dir=DIR] [--json=FILE]\n";
+           "  genomicsbench serve --jobs=FILE | --listen=HOST:PORT"
+           " [--workers=N] [--queue-depth=K]"
+           " [--schedule=dynamic|steal]"
+           " [--cache-dir=DIR] [--json=FILE]\n"
+           "  genomicsbench client --connect=HOST:PORT --jobs=FILE"
+           " [--wait-timeout=S] [--drain]\n";
     return 2;
 }
 
@@ -364,55 +377,41 @@ cmdStoreVerify(std::vector<std::string> paths)
     return failures == 0 ? 0 : 1;
 }
 
-/**
- * `serve`: run a whole job list through the gb::serve Scheduler —
- * submit everything up front, drain, then report per-job and
- * server-level results. Exit 1 if any job failed or was rejected.
- */
-int
-cmdServe(const std::string& jobs_path, unsigned workers,
-         size_t queue_depth, SchedulePolicy schedule)
+/** Artifact-cache counters at serve start, for delta reporting. */
+struct CacheBaseline
 {
-    if (jobs_path.empty()) {
-        std::cerr << "error: serve requires --jobs=FILE\n";
-        return 2;
-    }
-    auto specs = serve::parseJobFile(jobs_path);
-    // --schedule is the default policy for jobs whose line has no
-    // schedule= key of its own.
-    for (auto& spec : specs) {
-        if (!spec.schedule_set) spec.schedule = schedule;
-    }
+    u64 builds = 0, hits = 0, misses = 0, waits = 0;
 
-    const auto& cache = store::globalCache();
-    const u64 builds0 = cache.builds();
-    const u64 hits0 = cache.hits();
-    const u64 misses0 = cache.misses();
-    const u64 waits0 = cache.flightWaits();
-
-    serve::Scheduler::Config config;
-    config.workers = workers;
-    config.queue_depth = queue_depth;
-    serve::Scheduler scheduler(std::move(config));
-
-    WallTimer wall;
-    std::vector<serve::JobHandle> handles;
-    handles.reserve(specs.size());
-    for (const auto& spec : specs) {
-        handles.push_back(scheduler.submit(spec));
+    static CacheBaseline
+    snapshot()
+    {
+        const auto& cache = store::globalCache();
+        return {cache.builds(), cache.hits(), cache.misses(),
+                cache.flightWaits()};
     }
-    scheduler.drain();
-    const double wall_seconds = wall.seconds();
+};
+
+/**
+ * Per-job table + `serve_job` metrics rows + summary + `serve_summary`
+ * row, shared by the batch (--jobs) and network (--listen) serve
+ * modes. Returns true when any job ended in a non-done state.
+ */
+bool
+reportServeJobs(
+    const std::vector<std::pair<u64, serve::JobHandle>>& jobs,
+    const serve::Scheduler& scheduler, double wall_seconds,
+    const CacheBaseline& base)
+{
     const auto stats = scheduler.stats();
-
-    Table table("Serve results (" + std::to_string(handles.size()) +
+    const auto& cache = store::globalCache();
+    Table table("Serve results (" + std::to_string(jobs.size()) +
                 " jobs, " + std::to_string(scheduler.workers()) +
                 " workers)");
-    table.setHeader({"job", "kernel", "size", "engine", "t", "status",
-                     "queue s", "prep s", "run s", "tasks/s"});
+    table.setHeader({"job", "kernel", "size", "engine", "prio", "t",
+                     "status", "queue s", "prep s", "run s",
+                     "tasks/s"});
     bool any_bad = false;
-    for (size_t i = 0; i < handles.size(); ++i) {
-        const auto& handle = handles[i];
+    for (const auto& [id, handle] : jobs) {
         const auto status = handle.status();
         const auto m = handle.metrics();
         const auto& spec = handle.spec();
@@ -421,10 +420,11 @@ cmdServe(const std::string& jobs_path, unsigned workers,
                 ? static_cast<double>(m.tasks) / m.best_run_seconds
                 : 0.0;
         table.newRow()
-            .cell(std::to_string(i + 1))
+            .cell(std::to_string(id))
             .cell(spec.kernel)
             .cell(datasetSizeName(spec.size))
             .cell(engineName(spec.engine))
+            .cell(serve::priorityName(spec.priority))
             .cell(std::to_string(m.pool_threads ? m.pool_threads
                                                 : spec.threads))
             .cell(serve::jobStatusName(status))
@@ -433,14 +433,17 @@ cmdServe(const std::string& jobs_path, unsigned workers,
             .cellF(m.run_seconds, 3)
             .cellF(tasks_per_sec, 1);
         g_sink.newRow("serve_job")
-            .count("job", i + 1)
+            .count("job", id)
             .str("kernel", spec.kernel)
             .str("size", datasetSizeName(spec.size))
             .str("engine", engineName(spec.engine))
             .str("schedule", schedulePolicyName(spec.schedule))
+            .str("priority", serve::priorityName(spec.priority))
             .count("threads", m.pool_threads ? m.pool_threads
                                              : spec.threads)
             .count("repeats", spec.repeats)
+            .count("repeats_completed", m.repeats_completed)
+            .count("dispatch_seq", m.dispatch_seq)
             .str("status", serve::jobStatusName(status))
             .num("queue_seconds", m.queue_seconds)
             .num("prepare_seconds", m.prepare_seconds)
@@ -450,9 +453,8 @@ cmdServe(const std::string& jobs_path, unsigned workers,
             .num("tasks_per_sec", tasks_per_sec);
         if (status != serve::JobStatus::kDone) {
             any_bad = true;
-            std::cout << "job " << i + 1 << " ("
-                      << spec.describe() << ") "
-                      << serve::jobStatusName(status) << ": "
+            std::cout << "job " << id << " (" << spec.describe()
+                      << ") " << serve::jobStatusName(status) << ": "
                       << handle.error() << '\n';
         }
     }
@@ -462,21 +464,21 @@ cmdServe(const std::string& jobs_path, unsigned workers,
         wall_seconds > 0.0
             ? static_cast<double>(stats.completed) / wall_seconds
             : 0.0;
-    std::cout << "served " << stats.completed << "/" << handles.size()
+    std::cout << "served " << stats.completed << "/" << jobs.size()
               << " jobs in " << formatF(wall_seconds, 3) << " s ("
               << formatF(jobs_per_sec, 2) << " jobs/s, peak "
               << stats.peak_workers_busy << "/" << stats.workers
               << " workers busy)\n";
     if (cache.enabled()) {
         std::cout << "artifact cache: "
-                  << cache.builds() - builds0 << " builds, "
-                  << cache.hits() - hits0 << " hits, "
-                  << cache.misses() - misses0 << " misses, "
-                  << cache.flightWaits() - waits0
+                  << cache.builds() - base.builds << " builds, "
+                  << cache.hits() - base.hits << " hits, "
+                  << cache.misses() - base.misses << " misses, "
+                  << cache.flightWaits() - base.waits
                   << " single-flight waits\n";
     }
     g_sink.newRow("serve_summary")
-        .count("jobs", handles.size())
+        .count("jobs", jobs.size())
         .count("completed", stats.completed)
         .count("failed", stats.failed)
         .count("cancelled", stats.cancelled)
@@ -485,11 +487,130 @@ cmdServe(const std::string& jobs_path, unsigned workers,
         .num("jobs_per_sec", jobs_per_sec)
         .count("workers", stats.workers)
         .count("peak_workers_busy", stats.peak_workers_busy)
-        .count("cache_builds", cache.builds() - builds0)
-        .count("cache_hits", cache.hits() - hits0)
-        .count("cache_misses", cache.misses() - misses0)
-        .count("cache_flight_waits", cache.flightWaits() - waits0);
+        .count("cache_builds", cache.builds() - base.builds)
+        .count("cache_hits", cache.hits() - base.hits)
+        .count("cache_misses", cache.misses() - base.misses)
+        .count("cache_flight_waits", cache.flightWaits() - base.waits);
+    return any_bad;
+}
+
+/**
+ * `serve --jobs`: run a whole job list through the gb::serve
+ * Scheduler — submit everything up front, drain, then report per-job
+ * and server-level results. Exit 1 if any job failed or was rejected.
+ */
+int
+cmdServe(const std::string& jobs_path, unsigned workers,
+         size_t queue_depth, SchedulePolicy schedule)
+{
+    auto specs = serve::parseJobFile(jobs_path);
+    // --schedule is the default policy for jobs whose line has no
+    // schedule= key of its own.
+    for (auto& spec : specs) {
+        if (!spec.schedule_set) spec.schedule = schedule;
+    }
+
+    const auto base = CacheBaseline::snapshot();
+    serve::Scheduler::Config config;
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    serve::Scheduler scheduler(std::move(config));
+
+    WallTimer wall;
+    std::vector<std::pair<u64, serve::JobHandle>> jobs;
+    jobs.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        jobs.emplace_back(i + 1, scheduler.submit(specs[i]));
+    }
+    scheduler.drain();
+    const bool any_bad =
+        reportServeJobs(jobs, scheduler, wall.seconds(), base);
     return any_bad ? 1 : 0;
+}
+
+/** SIGTERM/SIGINT set this; the --listen loop polls it. */
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void
+onShutdownSignal(int)
+{
+    g_shutdown_signal = 1;
+}
+
+/**
+ * `serve --listen=HOST:PORT`: the network front-end. Jobs arrive over
+ * TCP (see docs/serve.md, "Network protocol"); the process serves
+ * until a client issues DRAIN or it receives SIGTERM/SIGINT, then
+ * drains gracefully and reports exactly like batch mode.
+ */
+int
+cmdServeListen(const std::string& listen_spec, unsigned workers,
+               size_t queue_depth, SchedulePolicy schedule)
+{
+    const net::HostPort hostport = net::parseHostPort(listen_spec);
+
+    const auto base = CacheBaseline::snapshot();
+    serve::Scheduler::Config config;
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    serve::Scheduler scheduler(std::move(config));
+
+    net::ServerConfig server_config;
+    server_config.host = hostport.host;
+    server_config.port = hostport.port;
+    server_config.spec_defaults = [schedule](serve::JobSpec& spec) {
+        if (!spec.schedule_set) spec.schedule = schedule;
+    };
+    net::Server server(&scheduler, server_config);
+    // check.sh (and humans) scrape this line for the resolved port —
+    // --listen=HOST:0 binds an ephemeral one.
+    std::cout << "serving on " << hostport.host << ":"
+              << server.port() << " (" << scheduler.workers()
+              << " workers, queue depth " << queue_depth << ")\n"
+              << std::flush;
+
+    std::signal(SIGTERM, onShutdownSignal);
+    std::signal(SIGINT, onShutdownSignal);
+    WallTimer wall;
+    while (!server.waitShutdownRequestedFor(0.2)) {
+        if (g_shutdown_signal) {
+            std::cout << "signal received, draining\n";
+            break;
+        }
+    }
+    // Idempotent against the DRAIN-verb path, which already drained
+    // on a session thread.
+    scheduler.drain();
+    server.stop();
+    const double wall_seconds = wall.seconds();
+
+    const bool any_bad = reportServeJobs(server.jobs(), scheduler,
+                                         wall_seconds, base);
+    return any_bad ? 1 : 0;
+}
+
+/**
+ * `client`: drive a job file against a live `serve --listen` server.
+ * Exit 0 only when every submitted job completed.
+ */
+int
+cmdClient(const std::string& connect_spec,
+          const std::string& jobs_path, bool drain,
+          double wait_timeout)
+{
+    if (connect_spec.empty() || jobs_path.empty()) {
+        std::cerr << "error: client requires --connect=HOST:PORT "
+                     "and --jobs=FILE\n";
+        return 2;
+    }
+    const net::HostPort hostport = net::parseHostPort(connect_spec);
+    net::ClientOptions options;
+    options.host = hostport.host;
+    options.port = hostport.port;
+    options.jobs_path = jobs_path;
+    options.drain = drain;
+    options.wait_seconds = wait_timeout;
+    return net::runClient(options, std::cout);
 }
 
 } // namespace
@@ -512,6 +633,10 @@ main(int argc, char** argv)
         SchedulePolicy schedule = SchedulePolicy::kDynamic;
         std::string json_path;
         std::string jobs_path;
+        std::string listen_spec;
+        std::string connect_spec;
+        bool drain = false;
+        double wait_timeout = -1.0;
         unsigned workers = 0;
         size_t queue_depth = 64;
         std::vector<std::string> kernels;
@@ -536,6 +661,14 @@ main(int argc, char** argv)
                 json_path = arg.substr(7);
             } else if (arg.rfind("--jobs=", 0) == 0) {
                 jobs_path = arg.substr(7);
+            } else if (arg.rfind("--listen=", 0) == 0) {
+                listen_spec = arg.substr(9);
+            } else if (arg.rfind("--connect=", 0) == 0) {
+                connect_spec = arg.substr(10);
+            } else if (arg == "--drain") {
+                drain = true;
+            } else if (arg.rfind("--wait-timeout=", 0) == 0) {
+                wait_timeout = std::stod(arg.substr(15));
             } else if (arg.rfind("--workers=", 0) == 0) {
                 workers = static_cast<unsigned>(
                     std::stoul(arg.substr(10)));
@@ -589,8 +722,28 @@ main(int argc, char** argv)
 
         if (command == "serve") {
             if (!positional.empty()) return usage();
+            if (!listen_spec.empty() && !jobs_path.empty()) {
+                std::cerr << "error: serve takes --jobs=FILE or "
+                             "--listen=HOST:PORT, not both\n";
+                return 2;
+            }
+            if (!listen_spec.empty()) {
+                return cmdServeListen(listen_spec, workers,
+                                      queue_depth, schedule);
+            }
+            if (jobs_path.empty()) {
+                std::cerr << "error: serve requires --jobs=FILE or "
+                             "--listen=HOST:PORT\n";
+                return 2;
+            }
             return cmdServe(jobs_path, workers, queue_depth,
                             schedule);
+        }
+
+        if (command == "client") {
+            if (!positional.empty()) return usage();
+            return cmdClient(connect_spec, jobs_path, drain,
+                             wait_timeout);
         }
 
         if (positional.size() != 1) return usage();
