@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, the SIMD and batched-MLP
-# equivalence suites at every dispatch level
-# (GB_SIMD_LEVEL=scalar|sse4|avx2), the gb::store, gb::simd and gb::mlp
-# test suites under ASan/UBSan, the thread-pool and metrics suites
+# Full pre-merge check: tier-1 build + tests, the SIMD, batched-MLP,
+# chain and poa equivalence suites at every dispatch level
+# (GB_SIMD_LEVEL=scalar|sse4|avx2), the gb::store, gb::simd, gb::mlp,
+# gb::chain and gb::poa test suites under ASan/UBSan, the thread-pool and metrics suites
 # under TSan, a metrics smoke test (--json emission validated by
 # scripts/bench_compare.py), the mlp ablation benches (self-verifying),
 # a benchmark-baseline comparison against
@@ -40,27 +40,33 @@ step "tier-1: ctest"
 # host with AVX2 still exercises the SSE4 and scalar dispatch paths
 # (the env override clamps to what the CPU supports, so this is safe
 # on any machine).
-step "gb::simd + gb::mlp: equivalence at every dispatch level"
+step "gb::simd + gb::mlp + chain/poa: equivalence at every dispatch level"
 for level in scalar sse4 avx2; do
     echo "-- GB_SIMD_LEVEL=$level"
     GB_SIMD_LEVEL=$level ./build/tests/test_simd
     GB_SIMD_LEVEL=$level ./build/tests/test_mlp --gtest_brief=1
+    GB_SIMD_LEVEL=$level ./build/tests/test_chain --gtest_brief=1
+    GB_SIMD_LEVEL=$level ./build/tests/test_poa --gtest_brief=1
 done
 
 # ------------------------------------------------------- sanitizer build
 if [[ $SKIP_SAN -eq 0 ]]; then
-    step "ASan/UBSan: build + run store + simd + mlp tests"
+    step "ASan/UBSan: build + run store + simd + mlp + chain + poa tests"
     cmake -B build-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
         >/dev/null
     cmake --build build-asan -j"$JOBS" --target test_store test_simd \
-        test_mlp
+        test_mlp test_chain test_poa
     ./build-asan/tests/test_store
     for level in scalar sse4 avx2; do
         GB_SIMD_LEVEL=$level ./build-asan/tests/test_simd \
             --gtest_brief=1
         GB_SIMD_LEVEL=$level ./build-asan/tests/test_mlp \
+            --gtest_brief=1
+        GB_SIMD_LEVEL=$level ./build-asan/tests/test_chain \
+            --gtest_brief=1
+        GB_SIMD_LEVEL=$level ./build-asan/tests/test_poa \
             --gtest_brief=1
     done
 fi
@@ -115,6 +121,13 @@ step "mlp ablations: occ-spacing + kmer-prefetch smoke (tiny)"
 ./build/bench/bench_ablation_fmi_occ --size=tiny
 ./build/bench/bench_ablation_kmer_prefetch --size=tiny
 
+# --------------------------------------------- chain simd ablation smoke
+# Sweeps anchor density (minimizer window) and times scalar vs simd
+# chaining; the binary bit-compares the chains per density and exits
+# non-zero on any divergence, so this is also a correctness gate.
+step "chain ablation: anchor density x engine smoke (tiny)"
+./build/bench/bench_ablation_chain_simd --size=tiny
+
 # --------------------------------------------------- benchmark baseline
 # Compare a fresh tiny run of the four SIMD-enabled kernels against the
 # committed baseline. The structural assertion is the strong one: every
@@ -125,7 +138,7 @@ step "mlp ablations: occ-spacing + kmer-prefetch smoke (tiny)"
 # (percent) on a quiet machine.
 step "baseline: bench_kernels tiny vs baselines/gb-metrics-v1.tiny.json"
 ./build/bench/bench_kernels --size=tiny --json="$MDIR/kernels_tiny.json" \
-    --benchmark_filter='(bsw|phmm|fmi|kmer-cnt)/' >/dev/null
+    --benchmark_filter='(bsw|phmm|fmi|kmer-cnt|chain|spoa)/' >/dev/null
 python3 scripts/bench_compare.py baselines/gb-metrics-v1.tiny.json \
     "$MDIR/kernels_tiny.json" --tolerance "${GB_BENCH_TOLERANCE:-400}"
 rm -rf "$MDIR"
@@ -169,6 +182,30 @@ steal = load(sys.argv[2], "steal")
 assert dyn == steal, f"task counters diverge: {dyn} vs {steal}"
 print(f"schedule smoke ok: tasks {dyn} identical under both policies")
 EOF
+
+# Engine equivalence: chain and spoa under --engine=simd must report
+# exactly the task counters of the --engine=scalar runs (the SIMD
+# kernels are bit-identical to the scalar DP, so the work decomposition
+# cannot change — docs/simd.md).
+step "engine: run chain/spoa --engine=simd counters match scalar"
+for kernel in chain spoa; do
+    "$GB" run "$kernel" --size=tiny --repeat=2 \
+        --json=/tmp/gb_eng_scalar.json >/dev/null
+    "$GB" run "$kernel" --size=tiny --repeat=2 --engine=simd \
+        --json=/tmp/gb_eng_simd.json >/dev/null
+    python3 - "$kernel" /tmp/gb_eng_scalar.json /tmp/gb_eng_simd.json <<'EOF'
+import json, sys
+def tasks(path):
+    doc = json.load(open(path))
+    rows = [r for r in doc["rows"] if r["table"] == "run"]
+    assert rows, f"{path}: no run rows"
+    return sorted(r["tasks"] for r in rows)
+scalar, simd = tasks(sys.argv[2]), tasks(sys.argv[3])
+assert scalar == simd, \
+    f"{sys.argv[1]}: task counters diverge: {scalar} vs {simd}"
+print(f"engine smoke ok: {sys.argv[1]} tasks {scalar} under both engines")
+EOF
+done
 
 # A flipped byte must be caught by store verify (exit 1).
 victim=$(ls "$CACHE"/fmi-*.gbs | head -1)

@@ -1,7 +1,6 @@
 #include "chain/chain.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "kmer/kmer_counter.h"
 
@@ -69,18 +68,38 @@ extractMinimizers(std::span<const u8> codes, const MinimizerParams& p)
         cand.valid = true;
     }
 
-    // Window minima over w consecutive k-mer starts.
+    // Window minima over w consecutive k-mer starts, computed with a
+    // monotonic deque in O(n) instead of rescanning each window
+    // (O(n*w)). The deque holds candidate indices with increasing
+    // hash front-to-back; the front is the window minimum. Pops on
+    // push are strict (hash > new), so among equal hashes the
+    // earliest position stays in front — the same winner the rescan's
+    // first-strictly-smaller rule picks.
     if (num_kmers < p.w) return out;
-    for (u64 win = 0; win + p.w <= num_kmers; ++win) {
-        const Cand* best = nullptr;
-        for (u64 j = win; j < win + p.w; ++j) {
-            if (!cands[j].valid) continue;
-            if (!best || cands[j].hash < best->hash) best = &cands[j];
+    std::vector<u64> deque;
+    deque.reserve(p.w + 1);
+    size_t head = 0;
+    for (u64 j = 0; j < num_kmers; ++j) {
+        if (cands[j].valid) {
+            while (deque.size() > head &&
+                   cands[deque.back()].hash > cands[j].hash) {
+                deque.pop_back();
+            }
+            if (head > 0 && deque.size() == head) {
+                // Deque drained: recycle the storage.
+                deque.clear();
+                head = 0;
+            }
+            deque.push_back(j);
         }
-        if (!best) continue;
-        if (out.empty() || out.back().pos != best->pos ||
-            out.back().hash != best->hash) {
-            out.push_back({best->hash, best->pos, best->rev});
+        if (j + 1 < p.w) continue;
+        const u64 win = j + 1 - p.w; // window covers starts [win, j]
+        while (deque.size() > head && deque[head] < win) ++head;
+        if (deque.size() == head) continue;
+        const Cand& best = cands[deque[head]];
+        if (out.empty() || out.back().pos != best.pos ||
+            out.back().hash != best.hash) {
+            out.push_back({best.hash, best.pos, best.rev});
         }
     }
     return out;
@@ -90,17 +109,27 @@ std::vector<Anchor>
 matchAnchors(std::span<const Minimizer> target,
              std::span<const Minimizer> query, u32 span)
 {
-    std::unordered_multimap<u64, const Minimizer*> index;
-    index.reserve(target.size());
-    for (const auto& m : target) index.emplace(m.hash, &m);
+    // Sort-based hash join: one flat copy of the target minimizers
+    // sorted by hash, probed with binary-search ranges per query
+    // minimizer. Replaces the per-call unordered_multimap, which cost
+    // one node allocation per target minimizer and stored raw
+    // pointers into the caller's span; the anchors built here own all
+    // their data (plain coordinates), so they stay valid after the
+    // input minimizer vectors reallocate or die.
+    std::vector<Minimizer> sites(target.begin(), target.end());
+    std::sort(sites.begin(), sites.end(),
+              [](const Minimizer& a, const Minimizer& b) {
+                  return a.hash < b.hash;
+              });
 
     std::vector<Anchor> anchors;
     for (const auto& q : query) {
-        auto [lo, hi] = index.equal_range(q.hash);
-        for (auto it = lo; it != hi; ++it) {
-            const Minimizer& t = *it->second;
-            if (t.rev != q.rev) continue; // same relative strand only
-            anchors.push_back({t.pos, q.pos, span});
+        auto lo = std::lower_bound(
+            sites.begin(), sites.end(), q.hash,
+            [](const Minimizer& m, u64 h) { return m.hash < h; });
+        for (; lo != sites.end() && lo->hash == q.hash; ++lo) {
+            if (lo->rev != q.rev) continue; // same relative strand
+            anchors.push_back({lo->pos, q.pos, span});
         }
     }
     std::sort(anchors.begin(), anchors.end(),
@@ -111,6 +140,40 @@ matchAnchors(std::span<const Minimizer> target,
     anchors.erase(std::unique(anchors.begin(), anchors.end()),
                   anchors.end());
     return anchors;
+}
+
+std::vector<Chain>
+extractChains(std::span<const Anchor> anchors, const ChainParams& p,
+              std::span<const i32> f, std::span<const i32> parent)
+{
+    const u32 n = static_cast<u32>(anchors.size());
+    std::vector<Chain> chains;
+    std::vector<u32> order(n);
+    for (u32 i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](u32 a, u32 b) { return f[a] > f[b]; });
+    std::vector<bool> used(n, false);
+
+    for (u32 idx : order) {
+        if (used[idx] || f[idx] < p.min_score) continue;
+        Chain chain;
+        chain.score = f[idx];
+        i32 cur = static_cast<i32>(idx);
+        bool collided = false;
+        while (cur >= 0) {
+            if (used[static_cast<u32>(cur)]) {
+                collided = true;
+                break;
+            }
+            chain.anchors.push_back(static_cast<u32>(cur));
+            cur = parent[static_cast<u32>(cur)];
+        }
+        if (collided || chain.anchors.size() < p.min_anchors) continue;
+        for (u32 a : chain.anchors) used[a] = true;
+        std::reverse(chain.anchors.begin(), chain.anchors.end());
+        chains.push_back(std::move(chain));
+    }
+    return chains;
 }
 
 std::vector<Chain>

@@ -88,23 +88,20 @@ struct Chain
 };
 
 /**
- * The chaining DP over sorted anchors.
- *
- * @return Chains with score >= min_score and >= min_anchors anchors,
- *         best first; each anchor is used by at most one chain.
+ * The chaining DP fill: f[i] is the best chain score ending at anchor
+ * i, parent[i] its predecessor (-1 = chain start). Both spans must
+ * hold anchors.size() entries. This is the scalar reference the
+ * gb::simd chain engine (simd/chain_engine.h) reproduces bit-exactly,
+ * including the tie-break: among equal candidate scores the largest
+ * predecessor index j wins, and a candidate must beat the anchor's
+ * own span strictly to be taken at all.
  */
 template <typename Probe>
-std::vector<Chain>
-chainAnchors(std::span<const Anchor> anchors, const ChainParams& p,
-             Probe& probe)
+void
+chainDp(std::span<const Anchor> anchors, const ChainParams& p,
+        std::span<i32> f, std::span<i32> parent, Probe& probe)
 {
     const u32 n = static_cast<u32>(anchors.size());
-    std::vector<Chain> chains;
-    if (n == 0) return chains;
-
-    std::vector<i32> f(n);
-    std::vector<i32> parent(n, -1);
-
     for (u32 i = 0; i < n; ++i) {
         const Anchor& ai = anchors[i];
         probe.load(&anchors[i], sizeof(Anchor));
@@ -152,34 +149,36 @@ chainAnchors(std::span<const Anchor> anchors, const ChainParams& p,
         parent[i] = best_j;
         probe.store(&f[i], 8);
     }
+}
 
-    // Extract non-overlapping chains, best score first.
-    std::vector<u32> order(n);
-    for (u32 i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](u32 a, u32 b) { return f[a] > f[b]; });
-    std::vector<bool> used(n, false);
+/**
+ * Extract non-overlapping chains from filled DP arrays, best score
+ * first; each anchor is used by at most one chain. Shared by the
+ * scalar and gb::simd chaining paths.
+ */
+std::vector<Chain> extractChains(std::span<const Anchor> anchors,
+                                 const ChainParams& p,
+                                 std::span<const i32> f,
+                                 std::span<const i32> parent);
 
-    for (u32 idx : order) {
-        if (used[idx] || f[idx] < p.min_score) continue;
-        Chain chain;
-        chain.score = f[idx];
-        i32 cur = static_cast<i32>(idx);
-        bool collided = false;
-        while (cur >= 0) {
-            if (used[static_cast<u32>(cur)]) {
-                collided = true;
-                break;
-            }
-            chain.anchors.push_back(static_cast<u32>(cur));
-            cur = parent[static_cast<u32>(cur)];
-        }
-        if (collided || chain.anchors.size() < p.min_anchors) continue;
-        for (u32 a : chain.anchors) used[a] = true;
-        std::reverse(chain.anchors.begin(), chain.anchors.end());
-        chains.push_back(std::move(chain));
-    }
-    return chains;
+/**
+ * The chaining DP over sorted anchors.
+ *
+ * @return Chains with score >= min_score and >= min_anchors anchors,
+ *         best first; each anchor is used by at most one chain.
+ */
+template <typename Probe>
+std::vector<Chain>
+chainAnchors(std::span<const Anchor> anchors, const ChainParams& p,
+             Probe& probe)
+{
+    const u32 n = static_cast<u32>(anchors.size());
+    if (n == 0) return {};
+    std::vector<i32> f(n);
+    std::vector<i32> parent(n, -1);
+    chainDp(anchors, p, std::span<i32>(f), std::span<i32>(parent),
+            probe);
+    return extractChains(anchors, p, f, parent);
 }
 
 /** Uninstrumented convenience wrapper. */

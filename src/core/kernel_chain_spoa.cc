@@ -9,6 +9,7 @@
 #include "chain/chain.h"
 #include "io/dna.h"
 #include "poa/poa.h"
+#include "simd/chain_engine.h"
 #include "simdata/genome.h"
 #include "simdata/reads.h"
 #include "util/rng.h"
@@ -88,8 +89,13 @@ class ChainKernel final : public Benchmark
     u64
     run(ThreadPool& pool) override
     {
+        const bool simd = engine() == Engine::kSimd;
         pool.parallelFor(anchor_sets_.size(), [&](u64 i) {
-            chainAnchors(anchor_sets_[i], params_);
+            if (simd) {
+                simd::chainAnchorsSimd(anchor_sets_[i], params_);
+            } else {
+                chainAnchors(anchor_sets_[i], params_);
+            }
         });
         return anchor_sets_.size();
     }
@@ -173,8 +179,13 @@ class SpoaKernel final : public Benchmark
     u64
     run(ThreadPool& pool) override
     {
+        const bool simd = engine() == Engine::kSimd;
         pool.parallelFor(tasks_.size(), [&](u64 i) {
-            poaConsensus(tasks_[i], params_);
+            if (simd) {
+                poaConsensusSimd(tasks_[i], params_);
+            } else {
+                poaConsensus(tasks_[i], params_);
+            }
         });
         return tasks_.size();
     }

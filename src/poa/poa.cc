@@ -3,14 +3,33 @@
 #include <algorithm>
 #include <limits>
 
+#include "simd/poa_engine.h"
+
 namespace gb {
 
 namespace {
 
 constexpr i32 kNegInf = std::numeric_limits<i32>::min() / 4;
 
-/** Traceback moves. */
-enum class Move : u8 { kNone, kDiag, kDelNode, kInsSeq };
+/** Traceback moves (low 2 bits of a packed traceback byte). */
+enum class Move : u8 { kNone = 0, kDiag = 1, kDelNode = 2, kInsSeq = 3 };
+
+/**
+ * Packed traceback cell: (pred-index << 2) | move. The 6-bit index
+ * field saturates at kPoaPredOverflow; the traceback resolves the
+ * sentinel by rescanning the cell's candidates (see resolvePred in
+ * align()). One byte per cell replaces the former Move byte plus i32
+ * from_row — ~4x less traceback memory traffic.
+ */
+constexpr u32 kPoaPredOverflow = 63;
+
+inline u8
+packTb(u32 pred_idx, Move mv)
+{
+    const u32 idx =
+        pred_idx < kPoaPredOverflow ? pred_idx : kPoaPredOverflow;
+    return static_cast<u8>(idx << 2 | static_cast<u32>(mv));
+}
 
 } // namespace
 
@@ -42,6 +61,16 @@ PoaGraph::numEdges() const
     u64 n = 0;
     for (const auto& node : nodes_) n += node.preds.size();
     return n;
+}
+
+u64
+PoaGraph::maxInDegree() const
+{
+    u64 widest = 0;
+    for (const auto& node : nodes_) {
+        widest = std::max<u64>(widest, node.preds.size());
+    }
+    return widest;
 }
 
 double
@@ -93,20 +122,30 @@ PoaGraph::align(std::span<const u8> codes, Probe& probe) const
     const i32 cols = n + 1;
     // DP buffers are reused across alignments (like spoa's engine);
     // fresh allocations every window would dominate memory traffic.
+    // No -inf / kNone fill: every cell of every row is written before
+    // it is read — row 0 explicitly, rows 1..v by the unconditional
+    // first predecessor pass plus the insertion fixup.
     static thread_local std::vector<i32> h;
-    static thread_local std::vector<Move> move;
-    static thread_local std::vector<i32> from_row;
-    h.assign(static_cast<size_t>(rows) * cols, kNegInf);
-    move.assign(static_cast<size_t>(rows) * cols, Move::kNone);
-    from_row.assign(static_cast<size_t>(rows) * cols, 0);
+    static thread_local std::vector<u8> tb;
+    static thread_local std::vector<i32> tb32;
+    h.resize(static_cast<size_t>(rows) * cols);
+    tb.resize(static_cast<size_t>(rows) * cols);
+    tb32.resize(static_cast<size_t>(cols));
     auto at = [cols](i32 r, i32 j) {
         return static_cast<size_t>(r) * cols + j;
     };
 
+    const bool use_simd = engine_ == PoaEngine::kSimd;
+    const simd::SimdLevel level = simd::activeSimdLevel();
+    const simd::PoaRowPassFn row_pass =
+        use_simd ? simd::poaRowPassFor(level) : simd::poaRowPassScalar;
+    const simd::PoaInsScanFn ins_scan =
+        use_simd ? simd::poaInsScanFor(level) : simd::poaInsScanScalar;
+
     // Row 0: leading insertions (global in the query).
     for (i32 j = 0; j <= n; ++j) {
         h[at(0, j)] = j * params_.gap;
-        move[at(0, j)] = Move::kInsSeq;
+        tb[at(0, j)] = packTb(0, Move::kInsSeq);
     }
 
     for (i32 r = 0; r < v; ++r) {
@@ -125,48 +164,52 @@ PoaGraph::align(std::span<const u8> codes, Probe& probe) const
             }
         }
 
-        // j = 0: only node deletions.
-        for (i32 pr : pred_rows) {
-            const i32 cand = h[at(pr, 0)] + params_.gap;
-            if (cand > h[at(row, 0)]) {
+        // j = 0: only node deletions (the k = 0 candidate seeds the
+        // cell — predecessor rows are finite, so it always beats the
+        // -inf a fresh row would hold).
+        for (size_t k = 0; k < pred_rows.size(); ++k) {
+            const i32 cand = h[at(pred_rows[k], 0)] + params_.gap;
+            if (k == 0 || cand > h[at(row, 0)]) {
                 h[at(row, 0)] = cand;
-                move[at(row, 0)] = Move::kDelNode;
-                from_row[at(row, 0)] = pr;
+                tb[at(row, 0)] =
+                    packTb(static_cast<u32>(k), Move::kDelNode);
             }
         }
 
-        for (i32 j = 1; j <= n; ++j) {
-            const i32 sub = codes[j - 1] == node.base &&
-                                    codes[j - 1] < 4
-                                ? params_.match
-                                : params_.mismatch;
-            i32 best = kNegInf;
-            Move best_move = Move::kNone;
-            i32 best_from = 0;
-            for (i32 pr : pred_rows) {
-                const i32 diag = h[at(pr, j - 1)] + sub;
-                if (diag > best) {
-                    best = diag;
-                    best_move = Move::kDiag;
-                    best_from = pr;
-                }
-                const i32 del = h[at(pr, j)] + params_.gap;
-                if (del > best) {
-                    best = del;
-                    best_move = Move::kDelNode;
-                    best_from = pr;
-                }
-            }
-            const i32 ins = h[at(row, j - 1)] + params_.gap;
-            if (ins > best) {
-                best = ins;
-                best_move = Move::kInsSeq;
-                best_from = row;
-            }
-            h[at(row, j)] = best;
-            move[at(row, j)] = best_move;
-            from_row[at(row, j)] = best_from;
+        // Columns 1..n: one row pass per predecessor (diag before
+        // del, strictly-greater — the scalar loop's candidate order,
+        // with the per-pred passes interchanged over j). Insertions
+        // only ever propagate left to right over finalized cells, so
+        // the serial fixup afterwards sees exactly the values the
+        // scalar interleaved loop sees. The first pass seeds best/tb32
+        // unconditionally, so neither needs clearing between rows.
+        for (size_t k = 0; k < pred_rows.size(); ++k) {
+            simd::PoaRowPassArgs pass;
+            pass.first = k == 0;
+            pass.pred = &h[at(pred_rows[k], 0)];
+            pass.best = &h[at(row, 0)];
+            pass.tb32 = tb32.data();
+            pass.codes = codes.data();
+            pass.n = static_cast<u32>(n);
+            pass.match = params_.match;
+            pass.mismatch = params_.mismatch;
+            pass.gap = params_.gap;
+            pass.base = node.base;
+            pass.tb_diag = packTb(static_cast<u32>(k), Move::kDiag);
+            pass.tb_del =
+                packTb(static_cast<u32>(k), Move::kDelNode);
+            row_pass(pass);
         }
+        // Insertion-gap fixup (max-plus prefix scan); narrows the
+        // staged traceback lanes into the packed byte matrix.
+        simd::PoaInsScanArgs scan;
+        scan.best = &h[at(row, 0)];
+        scan.tb32 = tb32.data();
+        scan.tb = &tb[at(row, 0)];
+        scan.n = static_cast<u32>(n);
+        scan.gap = params_.gap;
+        scan.tb_ins = packTb(0, Move::kInsSeq);
+        ins_scan(scan);
         cell_updates_ += static_cast<u64>(n) *
                          std::max<size_t>(1, pred_rows.size());
         // SIMD model: spoa processes rows in vector registers with
@@ -193,22 +236,58 @@ PoaGraph::align(std::span<const u8> codes, Probe& probe) const
     }
     if (v == 0) best_row = 0;
 
-    // Traceback.
+    // Traceback over the packed byte matrix. A cell's 6-bit field
+    // indexes its row's predecessor list; the kPoaPredOverflow
+    // sentinel is resolved by rescanning the candidates in scalar
+    // order — the winner is the FIRST candidate equal to the cell's
+    // final score, because strictly-greater updates guarantee every
+    // earlier candidate is strictly smaller.
+    static thread_local std::vector<i32> prs;
+    auto predRowsOf = [&](i32 row_r) {
+        prs.clear();
+        const Node& nd = nodes_[topo_order_[row_r - 1]];
+        if (nd.preds.empty()) {
+            prs.push_back(0);
+        } else {
+            for (u32 p : nd.preds) prs.push_back(rank_of[p] + 1);
+        }
+    };
+    auto resolvePred = [&](i32 row_r, i32 col_j, u8 packed) -> i32 {
+        const u32 idx = packed >> 2;
+        predRowsOf(row_r);
+        if (idx < kPoaPredOverflow) return prs[idx];
+        const Node& nd = nodes_[topo_order_[row_r - 1]];
+        const i32 cur = h[at(row_r, col_j)];
+        i32 sub = 0;
+        if (col_j > 0) {
+            const u8 c = codes[col_j - 1];
+            sub = c == nd.base && c < 4 ? params_.match
+                                        : params_.mismatch;
+        }
+        for (i32 pr : prs) {
+            if (col_j > 0 && h[at(pr, col_j - 1)] + sub == cur) {
+                return pr;
+            }
+            if (h[at(pr, col_j)] + params_.gap == cur) return pr;
+        }
+        throw InternalError("POA traceback: predecessor not found");
+    };
+
     std::vector<PoaAlignedPair> pairs;
     i32 r = best_row;
     i32 j = n;
     while (r > 0 || j > 0) {
-        const Move mv = move[at(r, j)];
+        const u8 packed = tb[at(r, j)];
+        const Move mv = static_cast<Move>(packed & 3);
         if (mv == Move::kDiag) {
             pairs.push_back(
                 {static_cast<i32>(topo_order_[r - 1]), j - 1});
-            const i32 pr = from_row[at(r, j)];
-            r = pr;
+            r = resolvePred(r, j, packed);
             --j;
         } else if (mv == Move::kDelNode) {
             pairs.push_back(
                 {static_cast<i32>(topo_order_[r - 1]), -1});
-            r = from_row[at(r, j)];
+            r = resolvePred(r, j, packed);
         } else if (mv == Move::kInsSeq) {
             pairs.push_back({-1, j - 1});
             --j;
@@ -342,6 +421,20 @@ poaConsensus(const PoaTask& task, const PoaParams& params)
 {
     NullProbe probe;
     return poaConsensus(task, params, probe, nullptr);
+}
+
+std::vector<u8>
+poaConsensusSimd(const PoaTask& task, const PoaParams& params,
+                 u64* cell_updates)
+{
+    PoaGraph graph(params);
+    graph.setEngine(PoaEngine::kSimd);
+    NullProbe probe;
+    for (const auto& read : task.reads) {
+        graph.addSequence(std::span<const u8>(read), probe);
+    }
+    if (cell_updates) *cell_updates = graph.cellUpdates();
+    return graph.consensus();
 }
 
 // Explicit instantiations for the supported probe types.

@@ -40,6 +40,14 @@ struct PoaAlignedPair
     i32 qpos;
 };
 
+/**
+ * Alignment engine: kScalar runs the portable row pass, kSimd routes
+ * each predecessor-row pass through gb::simd's runtime-dispatched
+ * kernel (AVX2 / SSE4.2 / scalar fallback). Alignments, the graph and
+ * the consensus are bit-identical either way.
+ */
+enum class PoaEngine : u8 { kScalar, kSimd };
+
 /** Partial-order graph accumulating window reads. */
 class PoaGraph
 {
@@ -60,12 +68,18 @@ class PoaGraph
     /** Heaviest-bundle consensus of the current graph. */
     std::vector<u8> consensus() const;
 
+    void setEngine(PoaEngine engine) { engine_ = engine; }
+    PoaEngine engine() const { return engine_; }
+
     u64 numNodes() const { return nodes_.size(); }
     u64 numEdges() const;
     u64 cellUpdates() const { return cell_updates_; }
 
     /** Mean in-degree n_p (complexity/irregularity metric). */
     double meanInDegree() const;
+
+    /** Largest in-degree of any node (stresses the packed traceback). */
+    u64 maxInDegree() const;
 
   private:
     struct Node
@@ -91,6 +105,7 @@ class PoaGraph
     void recomputeTopoOrder();
 
     PoaParams params_;
+    PoaEngine engine_ = PoaEngine::kScalar;
     std::vector<Node> nodes_;
     std::vector<u32> topo_order_; ///< node ids in topological order
     mutable u64 cell_updates_ = 0; ///< updated by const align()
@@ -111,6 +126,14 @@ poaConsensus(const PoaTask& task, const PoaParams& params, Probe& probe,
 /** Uninstrumented convenience wrapper. */
 std::vector<u8> poaConsensus(const PoaTask& task,
                              const PoaParams& params = {});
+
+/**
+ * poaConsensus() with the gb::simd row kernel (PoaEngine::kSimd):
+ * bit-identical consensus at every dispatch level.
+ */
+std::vector<u8> poaConsensusSimd(const PoaTask& task,
+                                 const PoaParams& params = {},
+                                 u64* cell_updates = nullptr);
 
 } // namespace gb
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dispatch layer for the vectorized chaining DP: picks the widest
+ * kernel the CPU (and GB_SIMD_LEVEL) allows, gates anchor sets whose
+ * coordinates the 32-bit lanes cannot difference exactly to the scalar
+ * chainDp(), and shares extractChains() with the scalar path so the
+ * resulting chains are always bit-identical to chainAnchors().
+ */
+#include "simd/chain_engine.h"
+
+#include <algorithm>
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd {
+
+namespace {
+
+using ChainDpFn = void (*)(const Anchor*, const i32*, const i32*, u32,
+                           const ChainParams&, i32*, i32*);
+
+struct Engine
+{
+    ChainDpFn fn;
+    u32 lanes;
+};
+
+/** Function-pointer table indexed by SimdLevel. */
+Engine
+engineFor(SimdLevel level)
+{
+    switch (level) {
+#if GB_SIMD_HAVE_X86
+      case SimdLevel::kAvx2: return {detail::chainDpAvx2, 8};
+      case SimdLevel::kSse4: return {detail::chainDpSse4, 4};
+#else
+      case SimdLevel::kAvx2:
+      case SimdLevel::kSse4:
+#endif
+      case SimdLevel::kScalar: break;
+    }
+    return {nullptr, 1};
+}
+
+} // namespace
+
+u32
+chainLanes(SimdLevel level)
+{
+    return engineFor(level).lanes;
+}
+
+void
+chainDpEngine(std::span<const Anchor> anchors, const ChainParams& params,
+              std::span<i32> f, std::span<i32> parent)
+{
+    const u32 n = static_cast<u32>(anchors.size());
+    requireInput(f.size() == n && parent.size() == n,
+                 "chainDpEngine: f/parent must match anchors.size()");
+    if (n == 0) return;
+
+    const Engine engine = engineFor(activeSimdLevel());
+    const bool representable =
+        engine.fn != nullptr &&
+        std::all_of(anchors.begin(), anchors.end(),
+                    [](const Anchor& a) {
+                        return a.tpos < kChainMaxSimdCoord &&
+                               a.qpos < kChainMaxSimdCoord;
+                    });
+    if (!representable) {
+        NullProbe probe;
+        chainDp(anchors, params, f, parent, probe);
+        return;
+    }
+
+    // SoA copies padded by one register so the clamped lowest chunk
+    // can load full vectors; pad lanes (and f cells not yet computed)
+    // are zero-initialized and masked off by the j<i predicate.
+    const u32 padded = n + engine.lanes;
+    std::vector<i32> tpos(padded, 0);
+    std::vector<i32> qpos(padded, 0);
+    std::vector<i32> f_pad(padded, 0);
+    for (u32 i = 0; i < n; ++i) {
+        tpos[i] = static_cast<i32>(anchors[i].tpos);
+        qpos[i] = static_cast<i32>(anchors[i].qpos);
+    }
+    engine.fn(anchors.data(), tpos.data(), qpos.data(), n, params,
+              f_pad.data(), parent.data());
+    std::copy_n(f_pad.data(), n, f.data());
+}
+
+std::vector<Chain>
+chainAnchorsSimd(std::span<const Anchor> anchors,
+                 const ChainParams& params)
+{
+    const u32 n = static_cast<u32>(anchors.size());
+    if (n == 0) return {};
+    std::vector<i32> f(n);
+    std::vector<i32> parent(n, -1);
+    chainDpEngine(anchors, params, f, parent);
+    return extractChains(anchors, params, f, parent);
+}
+
+} // namespace gb::simd

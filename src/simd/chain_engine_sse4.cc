@@ -1,0 +1,16 @@
+/** SSE4.2 instantiation of the vectorized chaining DP. */
+#define GB_SIMD_TARGET_SSE4 1
+#include "simd/chain_engine_impl.h"
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd::detail {
+
+void
+chainDpSse4(const Anchor* anchors, const i32* tpos, const i32* qpos,
+            u32 n, const ChainParams& params, i32* f_pad, i32* parent)
+{
+    chainDpVec(anchors, tpos, qpos, n, params, f_pad, parent);
+}
+
+} // namespace gb::simd::detail

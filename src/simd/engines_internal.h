@@ -9,6 +9,8 @@
 #define GB_SIMD_ENGINES_INTERNAL_H
 
 #include "align/banded_sw.h"
+#include "chain/chain.h"
+#include "simd/poa_engine.h"
 #include "util/common.h"
 
 namespace gb::simd::detail {
@@ -63,6 +65,37 @@ struct PhmmF32Input
  */
 float phmmForwardSse4(const PhmmF32Input& in);
 float phmmForwardAvx2(const PhmmF32Input& in);
+
+/**
+ * Vectorized chaining DP fill. Preconditions (checked by the
+ * dispatcher): every anchor coordinate < kChainMaxSimdCoord, and
+ * tpos/qpos/f_pad are SoA copies padded to n + kI32Lanes entries
+ * (pad lanes are loaded but always masked out). f_pad[0, n) receives
+ * the scores; parent has exactly n entries.
+ */
+void chainDpSse4(const Anchor* anchors, const i32* tpos,
+                 const i32* qpos, u32 n, const ChainParams& params,
+                 i32* f_pad, i32* parent);
+void chainDpAvx2(const Anchor* anchors, const i32* tpos,
+                 const i32* qpos, u32 n, const ChainParams& params,
+                 i32* f_pad, i32* parent);
+
+/**
+ * One predecessor-row pass of the POA row kernel (diag + del
+ * candidates for columns 1..n, strictly-greater updates in scalar
+ * candidate order). Full vector chunks only; the <kI32Lanes tail is
+ * updated scalar so no store ever leaves the row.
+ */
+void poaRowPassSse4(const PoaRowPassArgs& args);
+void poaRowPassAvx2(const PoaRowPassArgs& args);
+
+/**
+ * Vectorized insertion-gap fixup: in-register max-plus prefix scan on
+ * ramp-subtracted scores, carry chained through best[] between chunks.
+ * Bit-identical to the serial left-to-right loop.
+ */
+void poaInsScanSse4(const PoaInsScanArgs& args);
+void poaInsScanAvx2(const PoaInsScanArgs& args);
 
 } // namespace gb::simd::detail
 

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dispatch layer and scalar reference for the POA row pass.
+ */
+#include "simd/poa_engine.h"
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd {
+
+void
+poaRowPassScalar(const PoaRowPassArgs& a)
+{
+    for (u32 j = 1; j <= a.n; ++j) {
+        const u8 c = a.codes[j - 1];
+        const i32 sub = c == a.base && c < 4 ? a.match : a.mismatch;
+        const i32 diag = a.pred[j - 1] + sub;
+        if (a.first || diag > a.best[j]) {
+            a.best[j] = diag;
+            a.tb32[j] = a.tb_diag;
+        }
+        const i32 del = a.pred[j] + a.gap;
+        if (del > a.best[j]) {
+            a.best[j] = del;
+            a.tb32[j] = a.tb_del;
+        }
+    }
+}
+
+void
+poaInsScanScalar(const PoaInsScanArgs& a)
+{
+    for (u32 j = 1; j <= a.n; ++j) {
+        const i32 ins = a.best[j - 1] + a.gap;
+        if (ins > a.best[j]) {
+            a.best[j] = ins;
+            a.tb[j] = static_cast<u8>(a.tb_ins);
+        } else {
+            a.tb[j] = static_cast<u8>(a.tb32[j]);
+        }
+    }
+}
+
+PoaInsScanFn
+poaInsScanFor(SimdLevel level)
+{
+    switch (level) {
+#if GB_SIMD_HAVE_X86
+      case SimdLevel::kAvx2: return detail::poaInsScanAvx2;
+      case SimdLevel::kSse4: return detail::poaInsScanSse4;
+#else
+      case SimdLevel::kAvx2:
+      case SimdLevel::kSse4:
+#endif
+      case SimdLevel::kScalar: break;
+    }
+    return poaInsScanScalar;
+}
+
+PoaRowPassFn
+poaRowPassFor(SimdLevel level)
+{
+    switch (level) {
+#if GB_SIMD_HAVE_X86
+      case SimdLevel::kAvx2: return detail::poaRowPassAvx2;
+      case SimdLevel::kSse4: return detail::poaRowPassSse4;
+#else
+      case SimdLevel::kAvx2:
+      case SimdLevel::kSse4:
+#endif
+      case SimdLevel::kScalar: break;
+    }
+    return poaRowPassScalar;
+}
+
+u32
+poaLanes(SimdLevel level)
+{
+    switch (level) {
+#if GB_SIMD_HAVE_X86
+      case SimdLevel::kAvx2: return 8;
+      case SimdLevel::kSse4: return 4;
+#else
+      case SimdLevel::kAvx2:
+      case SimdLevel::kSse4:
+#endif
+      case SimdLevel::kScalar: break;
+    }
+    return 1;
+}
+
+} // namespace gb::simd

@@ -1,0 +1,21 @@
+/** AVX2 instantiation of the POA row pass and insertion scan. */
+#define GB_SIMD_TARGET_AVX2 1
+#include "simd/poa_engine_impl.h"
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd::detail {
+
+void
+poaRowPassAvx2(const PoaRowPassArgs& args)
+{
+    poaRowPassVec(args);
+}
+
+void
+poaInsScanAvx2(const PoaInsScanArgs& args)
+{
+    poaInsScanVec(args);
+}
+
+} // namespace gb::simd::detail

@@ -1,0 +1,21 @@
+/** SSE4.2 instantiation of the POA row pass and insertion scan. */
+#define GB_SIMD_TARGET_SSE4 1
+#include "simd/poa_engine_impl.h"
+
+#include "simd/engines_internal.h"
+
+namespace gb::simd::detail {
+
+void
+poaRowPassSse4(const PoaRowPassArgs& args)
+{
+    poaRowPassVec(args);
+}
+
+void
+poaInsScanSse4(const PoaInsScanArgs& args)
+{
+    poaInsScanVec(args);
+}
+
+} // namespace gb::simd::detail

@@ -7,11 +7,14 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "chain/chain.h"
 #include "chain/mapper.h"
 #include "io/dna.h"
+#include "simd/chain_engine.h"
+#include "simd/simd.h"
 #include "simdata/genome.h"
 #include "simdata/reads.h"
 #include "util/rng.h"
@@ -282,6 +285,365 @@ TEST(Mapper, ShortQueryReturnsUnmapped)
     const ReferenceMapper mapper(std::span<const u8>(genome.codes));
     const auto tiny = encodeDna("ACGT");
     EXPECT_FALSE(mapper.map(tiny).mapped);
+}
+
+// ---- oracles for the wave-3 rewrites --------------------------------
+
+/** Test-local copy of minimap2's hash64 (chain.cc keeps its own). */
+u64
+oracleHash64(u64 key, u64 mask)
+{
+    key = (~key + (key << 21)) & mask;
+    key = key ^ (key >> 24);
+    key = ((key + (key << 3)) + (key << 8)) & mask;
+    key = key ^ (key >> 14);
+    key = ((key + (key << 2)) + (key << 4)) & mask;
+    key = key ^ (key >> 28);
+    key = (key + (key << 31)) & mask;
+    return key;
+}
+
+/**
+ * Reference minimizer extraction with the pre-deque O(n*w) window
+ * rescan: every window picks its first strictly-smallest hash.
+ */
+std::vector<Minimizer>
+naiveMinimizers(std::span<const u8> codes, const MinimizerParams& p)
+{
+    std::vector<Minimizer> out;
+    if (codes.size() < p.k) return out;
+    const u64 mask = (u64{1} << (2 * p.k)) - 1;
+    struct Cand
+    {
+        u64 hash = ~u64{0};
+        u32 pos = 0;
+        bool rev = false;
+        bool valid = false;
+    };
+    const u64 num_kmers = codes.size() - p.k + 1;
+    std::vector<Cand> cands(num_kmers);
+    u64 fwd = 0;
+    u64 rev = 0;
+    u32 filled = 0;
+    for (u64 i = 0; i < codes.size(); ++i) {
+        const u8 c = codes[i];
+        if (c >= 4) {
+            filled = 0;
+            fwd = rev = 0;
+            continue;
+        }
+        fwd = ((fwd << 2) | c) & mask;
+        rev = (rev >> 2) |
+              (static_cast<u64>(3 - c) << (2 * (p.k - 1)));
+        if (++filled < p.k) continue;
+        if (fwd == rev) continue;
+        Cand& cand = cands[i + 1 - p.k];
+        cand.rev = rev < fwd;
+        cand.hash = oracleHash64(cand.rev ? rev : fwd, mask);
+        cand.pos = static_cast<u32>(i);
+        cand.valid = true;
+    }
+    if (num_kmers < p.w) return out;
+    for (u64 win = 0; win + p.w <= num_kmers; ++win) {
+        const Cand* best = nullptr;
+        for (u64 j = win; j < win + p.w; ++j) {
+            if (!cands[j].valid) continue;
+            if (!best || cands[j].hash < best->hash) {
+                best = &cands[j];
+            }
+        }
+        if (!best) continue;
+        if (out.empty() || out.back().pos != best->pos ||
+            out.back().hash != best->hash) {
+            out.push_back({best->hash, best->pos, best->rev});
+        }
+    }
+    return out;
+}
+
+/** Reference anchor join with the pre-sort unordered_multimap. */
+std::vector<Anchor>
+multimapAnchors(std::span<const Minimizer> target,
+                std::span<const Minimizer> query, u32 span)
+{
+    std::unordered_multimap<u64, const Minimizer*> index;
+    for (const auto& m : target) index.emplace(m.hash, &m);
+    std::vector<Anchor> anchors;
+    for (const auto& q : query) {
+        auto [lo, hi] = index.equal_range(q.hash);
+        for (auto it = lo; it != hi; ++it) {
+            if (it->second->rev != q.rev) continue;
+            anchors.push_back({it->second->pos, q.pos, span});
+        }
+    }
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                  return a.tpos < b.tpos ||
+                         (a.tpos == b.tpos && a.qpos < b.qpos);
+              });
+    anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                  anchors.end());
+    return anchors;
+}
+
+/** Random DNA with occasional ambiguous runs. */
+std::string
+dnaWithAmbiguity(Rng& rng, u64 len)
+{
+    std::string s;
+    while (s.size() < len) {
+        if (rng.chance(0.02)) {
+            const u64 run = 1 + rng.below(2 * 15);
+            s.append(run, 'N');
+        } else {
+            s += "ACGT"[rng.below(4)];
+        }
+    }
+    return s;
+}
+
+TEST(Minimizers, DequeMatchesNaiveRescanOracle)
+{
+    Rng rng(71);
+    for (int rep = 0; rep < 60; ++rep) {
+        MinimizerParams p;
+        p.k = 4 + static_cast<u32>(rng.below(14));
+        p.w = 1 + static_cast<u32>(rng.below(24));
+        const u64 len = rng.below(3000);
+        const auto codes = encodeDna(dnaWithAmbiguity(rng, len));
+        const auto fast = extractMinimizers(codes, p);
+        const auto naive = naiveMinimizers(codes, p);
+        ASSERT_EQ(fast.size(), naive.size())
+            << "k=" << p.k << " w=" << p.w << " len=" << len;
+        for (size_t i = 0; i < fast.size(); ++i) {
+            EXPECT_EQ(fast[i].hash, naive[i].hash);
+            EXPECT_EQ(fast[i].pos, naive[i].pos);
+            EXPECT_EQ(fast[i].rev, naive[i].rev);
+        }
+    }
+}
+
+TEST(Anchors, SortJoinMatchesMultimapOracle)
+{
+    Rng rng(72);
+    for (int rep = 0; rep < 40; ++rep) {
+        const std::string genome = randomDna(rng, 4000);
+        const u64 alen = 500 + rng.below(1500);
+        const u64 blen = 500 + rng.below(1500);
+        const std::string a =
+            genome.substr(rng.below(4000 - alen), alen);
+        const std::string b =
+            genome.substr(rng.below(4000 - blen), blen);
+        const auto ma = extractMinimizers(encodeDna(a), {});
+        const auto mb = extractMinimizers(encodeDna(b), {});
+        EXPECT_EQ(matchAnchors(ma, mb, 15),
+                  multimapAnchors(ma, mb, 15));
+    }
+}
+
+TEST(Anchors, SurviveSourceMinimizerReallocationAndDeath)
+{
+    // matchAnchors once stored raw Minimizer pointers in its join
+    // index; the anchors it returns must stay valid (plain values)
+    // after the input vectors reallocate or are destroyed.
+    Rng rng(73);
+    const std::string genome = randomDna(rng, 5000);
+    std::vector<Anchor> anchors;
+    {
+        auto mt = std::make_unique<std::vector<Minimizer>>(
+            extractMinimizers(encodeDna(genome.substr(0, 3500)), {}));
+        auto mq = std::make_unique<std::vector<Minimizer>>(
+            extractMinimizers(encodeDna(genome.substr(1500, 3500)),
+                              {}));
+        anchors = matchAnchors(*mt, *mq, 15);
+        // Force reallocation, then destruction, of both sources.
+        mt->resize(mt->size() * 4 + 64);
+        mq->resize(mq->size() * 4 + 64);
+        mt.reset();
+        mq.reset();
+    }
+    ASSERT_GT(anchors.size(), 20u);
+    const std::vector<Anchor> snapshot = anchors;
+    const auto chains = chainAnchors(anchors);
+    EXPECT_EQ(anchors, snapshot);
+    ASSERT_FALSE(chains.empty());
+    EXPECT_GT(chains.front().score, 0);
+}
+
+// ---- chain engine: scalar/SIMD equivalence --------------------------
+
+/** Restores the process-global dispatch level on scope exit. */
+struct LevelGuard
+{
+    ~LevelGuard() { simd::resetSimdLevel(); }
+};
+
+/** Levels this host can actually execute (always includes scalar). */
+std::vector<simd::SimdLevel>
+testableLevels()
+{
+    std::vector<simd::SimdLevel> levels{simd::SimdLevel::kScalar};
+    const simd::SimdLevel best = simd::detectSimdLevel();
+    if (best >= simd::SimdLevel::kSse4) {
+        levels.push_back(simd::SimdLevel::kSse4);
+    }
+    if (best >= simd::SimdLevel::kAvx2) {
+        levels.push_back(simd::SimdLevel::kAvx2);
+    }
+    return levels;
+}
+
+/** Anchor sets covering the DP's regimes: near-diagonal chains with
+ *  gaps and band violations, uniform noise, equal-score ties. */
+std::vector<Anchor>
+randomAnchorSet(Rng& rng, u32 max_coord)
+{
+    const u64 n = rng.below(120);
+    std::vector<Anchor> anchors;
+    u32 t = static_cast<u32>(rng.below(1000));
+    u32 q = static_cast<u32>(rng.below(1000));
+    for (u64 i = 0; i < n; ++i) {
+        switch (rng.below(4)) {
+          case 0: // colinear step, chainable
+            t += 1 + static_cast<u32>(rng.below(60));
+            q += 1 + static_cast<u32>(rng.below(60));
+            break;
+          case 1: // big gap (max_dist / band stress)
+            t += static_cast<u32>(rng.below(8000));
+            q += static_cast<u32>(rng.below(8000));
+            break;
+          case 2: // tie fodder: symmetric off-diagonal pair
+            anchors.push_back({t + 30, q + 20, 15});
+            t += 20;
+            q += 30;
+            break;
+          default: // noise anywhere
+            anchors.push_back(
+                {static_cast<u32>(rng.below(max_coord)),
+                 static_cast<u32>(rng.below(max_coord)), 15});
+            break;
+        }
+        const u32 span = 10 + static_cast<u32>(rng.below(10));
+        anchors.push_back({t % max_coord, q % max_coord, span});
+    }
+    std::sort(anchors.begin(), anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                  return a.tpos < b.tpos ||
+                         (a.tpos == b.tpos && a.qpos < b.qpos);
+              });
+    anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                  anchors.end());
+    return anchors;
+}
+
+ChainParams
+randomChainParams(Rng& rng)
+{
+    ChainParams p;
+    switch (rng.below(4)) {
+      case 0: p.pred_window = 5; break;
+      case 1: p.pred_window = 25; break;
+      case 2: p.pred_window = 64; break;
+      default: p.pred_window = 200; break;
+    }
+    if (rng.chance(0.3)) p.max_dist = 500 + rng.below(5000);
+    if (rng.chance(0.3)) p.max_band = 50 + rng.below(500);
+    if (rng.chance(0.2)) p.gap_scale = 0.05f;
+    return p;
+}
+
+TEST(ChainEngine, RandomizedMatchesScalarAtEveryLevel)
+{
+    LevelGuard guard;
+    for (const simd::SimdLevel level : testableLevels()) {
+        simd::setSimdLevel(level);
+        Rng rng(74); // same cases at every level
+        for (int rep = 0; rep < 400; ++rep) {
+            const auto anchors = randomAnchorSet(rng, 200'000);
+            const ChainParams p = randomChainParams(rng);
+
+            const u32 n = static_cast<u32>(anchors.size());
+            std::vector<i32> f_ref(n);
+            std::vector<i32> parent_ref(n, -1);
+            NullProbe probe;
+            chainDp(std::span<const Anchor>(anchors), p,
+                    std::span<i32>(f_ref),
+                    std::span<i32>(parent_ref), probe);
+
+            std::vector<i32> f_eng(n);
+            std::vector<i32> parent_eng(n, -1);
+            simd::chainDpEngine(anchors, p, f_eng, parent_eng);
+            ASSERT_EQ(f_eng, f_ref)
+                << "level=" << simd::simdLevelName(level)
+                << " rep=" << rep << " n=" << n;
+            ASSERT_EQ(parent_eng, parent_ref)
+                << "level=" << simd::simdLevelName(level)
+                << " rep=" << rep << " n=" << n;
+
+            const auto chains_ref = chainAnchors(anchors, p);
+            const auto chains_eng =
+                simd::chainAnchorsSimd(anchors, p);
+            ASSERT_EQ(chains_eng.size(), chains_ref.size());
+            for (size_t c = 0; c < chains_ref.size(); ++c) {
+                EXPECT_EQ(chains_eng[c].score, chains_ref[c].score);
+                EXPECT_EQ(chains_eng[c].anchors,
+                          chains_ref[c].anchors);
+            }
+        }
+    }
+}
+
+TEST(ChainEngine, EqualScoresKeepLargestPredecessor)
+{
+    // Two symmetric predecessors produce identical candidate scores;
+    // the scalar tie-break keeps the larger index. The engine must
+    // agree at every level.
+    LevelGuard guard;
+    const std::vector<Anchor> anchors = {
+        {50, 60, 15}, {60, 50, 15}, {100, 100, 15}};
+    const ChainParams p;
+    for (const simd::SimdLevel level : testableLevels()) {
+        simd::setSimdLevel(level);
+        std::vector<i32> f(3);
+        std::vector<i32> parent(3, -1);
+        simd::chainDpEngine(anchors, p, f, parent);
+        EXPECT_EQ(parent[2], 1)
+            << "level=" << simd::simdLevelName(level);
+    }
+}
+
+TEST(ChainEngine, FallsBackAboveCoordinateGate)
+{
+    // Coordinates at or beyond 2^30 cannot be differenced in i32
+    // lanes; the engine must route them to the scalar DP and still
+    // match it exactly.
+    LevelGuard guard;
+    Rng rng(75);
+    const u32 base = simd::kChainMaxSimdCoord;
+    std::vector<Anchor> anchors;
+    u32 t = base - 500;
+    u32 q = base + 500;
+    for (int i = 0; i < 60; ++i) {
+        t += 1 + static_cast<u32>(rng.below(50));
+        q += 1 + static_cast<u32>(rng.below(50));
+        anchors.push_back({t, q, 15});
+    }
+    const ChainParams p;
+    const u32 n = static_cast<u32>(anchors.size());
+    std::vector<i32> f_ref(n);
+    std::vector<i32> parent_ref(n, -1);
+    NullProbe probe;
+    chainDp(std::span<const Anchor>(anchors), p,
+            std::span<i32>(f_ref), std::span<i32>(parent_ref),
+            probe);
+    for (const simd::SimdLevel level : testableLevels()) {
+        simd::setSimdLevel(level);
+        std::vector<i32> f(n);
+        std::vector<i32> parent(n, -1);
+        simd::chainDpEngine(anchors, p, f, parent);
+        EXPECT_EQ(f, f_ref);
+        EXPECT_EQ(parent, parent_ref);
+    }
 }
 
 TEST(Overlap, NoisyLongReadsStillChain)

@@ -15,7 +15,9 @@
 #include "io/dna.h"
 #include "phmm/pairhmm.h"
 #include "simd/bsw_engine.h"
+#include "simd/chain_engine.h"
 #include "simd/phmm_engine.h"
+#include "simd/poa_engine.h"
 #include "simd/simd.h"
 #include "util/rng.h"
 
@@ -78,14 +80,20 @@ TEST(SimdDispatch, LaneCountsMatchLevel)
 {
     EXPECT_EQ(simd::bswLanes(simd::SimdLevel::kScalar), 1u);
     EXPECT_EQ(simd::phmmLanes(simd::SimdLevel::kScalar), 1u);
+    EXPECT_EQ(simd::chainLanes(simd::SimdLevel::kScalar), 1u);
+    EXPECT_EQ(simd::poaLanes(simd::SimdLevel::kScalar), 1u);
     const simd::SimdLevel best = simd::detectSimdLevel();
     if (best >= simd::SimdLevel::kSse4) {
         EXPECT_EQ(simd::bswLanes(simd::SimdLevel::kSse4), 8u);
         EXPECT_EQ(simd::phmmLanes(simd::SimdLevel::kSse4), 4u);
+        EXPECT_EQ(simd::chainLanes(simd::SimdLevel::kSse4), 4u);
+        EXPECT_EQ(simd::poaLanes(simd::SimdLevel::kSse4), 4u);
     }
     if (best >= simd::SimdLevel::kAvx2) {
         EXPECT_EQ(simd::bswLanes(simd::SimdLevel::kAvx2), 16u);
         EXPECT_EQ(simd::phmmLanes(simd::SimdLevel::kAvx2), 8u);
+        EXPECT_EQ(simd::chainLanes(simd::SimdLevel::kAvx2), 8u);
+        EXPECT_EQ(simd::poaLanes(simd::SimdLevel::kAvx2), 8u);
     }
 }
 
