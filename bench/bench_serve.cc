@@ -91,7 +91,8 @@ main(int argc, char** argv)
     Table table("Serial vs served (" + std::to_string(kJobs) +
                 " jobs each)");
     table.setHeader({"kernel", "serial s", "serve s", "speedup",
-                     "jobs/s", "builds", "flight waits"});
+                     "jobs/s", "builds", "flight waits", "qw p95 ms",
+                     "e2e p95 ms"});
     for (const auto& name : kernels) {
         // Serial baseline: the pre-serve model, one job at a time on
         // one thread. The cache still dedups across jobs (first
@@ -113,6 +114,7 @@ main(int argc, char** argv)
         // Served: same jobs submitted at once; prepare() calls race
         // and the single-flight cache must collapse them to 1 build.
         WallTimer serve_timer;
+        serve::Scheduler::LatencySnapshot latency;
         const auto serve_delta =
             withColdCache(root + "/serve-" + name, [&] {
                 serve::Scheduler::Config config;
@@ -134,6 +136,9 @@ main(int argc, char** argv)
                     handles.push_back(scheduler.submit(spec));
                 }
                 scheduler.drain();
+                // Snapshot before the scheduler (and its histograms)
+                // goes out of scope with this lambda.
+                latency = scheduler.stats().latency;
                 for (const auto& handle : handles) {
                     if (handle.status() != serve::JobStatus::kDone) {
                         std::cerr << "job failed: " << handle.error()
@@ -154,7 +159,9 @@ main(int argc, char** argv)
             .cellF(speedup, 2)
             .cellF(jobs_per_sec, 2)
             .cell(std::to_string(serve_delta.builds))
-            .cell(std::to_string(serve_delta.flight_waits));
+            .cell(std::to_string(serve_delta.flight_waits))
+            .cellF(latency.queue_wait.p95_ms, 2)
+            .cellF(latency.end_to_end.p95_ms, 2);
         bench::metricsSink()
             .newRow("serve_bench")
             .str("kernel", name)
@@ -166,7 +173,13 @@ main(int argc, char** argv)
             .num("jobs_per_sec", jobs_per_sec)
             .count("serial_builds", serial_delta.builds)
             .count("serve_builds", serve_delta.builds)
-            .count("serve_flight_waits", serve_delta.flight_waits);
+            .count("serve_flight_waits", serve_delta.flight_waits)
+            .num("queue_wait_p50_ms", latency.queue_wait.p50_ms)
+            .num("queue_wait_p95_ms", latency.queue_wait.p95_ms)
+            .num("queue_wait_p99_ms", latency.queue_wait.p99_ms)
+            .num("e2e_p50_ms", latency.end_to_end.p50_ms)
+            .num("e2e_p95_ms", latency.end_to_end.p95_ms)
+            .num("e2e_p99_ms", latency.end_to_end.p99_ms);
     }
     bench::report(table);
     std::cout << "\nbuilds counts prepare() artifact builds during the "

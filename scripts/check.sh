@@ -12,9 +12,13 @@
 # checks), a schedule-policy equivalence smoke (`run --schedule=steal`
 # task counters must match the dynamic run — docs/threading.md), a
 # gb::serve smoke test (8-job list through the scheduler, JSON
-# validated, single-flight prepare asserted), and a gb::net loopback
+# validated, single-flight prepare asserted), a gb::net loopback
 # smoke (`serve --listen` driven by the `client` subcommand over
-# 127.0.0.1, priority dispatch order asserted from the JSON).
+# 127.0.0.1, priority dispatch order asserted from the JSON), and a
+# gb::trace smoke riding on the net run: --trace must produce valid
+# Perfetto JSON covering every instrumented layer with zero dropped
+# events, submit->done coverage for all 8 jobs, and non-zero latency
+# percentile columns on the serve_summary row (docs/tracing.md).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
@@ -75,18 +79,20 @@ fi
 # The scheduler telemetry writes per-rank slots from worker threads,
 # the kSteal policy CASes packed range words across ranks, the
 # gb::serve scheduler runs jobs on detached runner threads over a
-# shared worker budget, and the gb::net server multiplexes session
-# threads, an accept loop and wake pipes over one scheduler; TSan
+# shared worker budget, the gb::net server multiplexes session
+# threads, an accept loop and wake pipes over one scheduler, and
+# gb::trace records into per-thread rings from all of the above; TSan
 # proves the thread-pool accounting, the steal protocol, the metrics
-# plumbing, the serving layer and the network layer are race-free.
+# plumbing, the serving layer, the network layer and the trace
+# recorder are race-free.
 if [[ $SKIP_SAN -eq 0 ]]; then
-    step "TSan: build + run thread-pool, metrics, serve and net tests"
+    step "TSan: build + run thread-pool, metrics, serve, net and trace tests"
     cmake -B build-tsan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
         >/dev/null
     cmake --build build-tsan -j"$JOBS" --target test_util test_metrics \
-        test_serve test_net
+        test_serve test_net test_trace
     # The randomized scheduler stress first (both policies, skewed and
     # throwing bodies — docs/threading.md), then the full suites.
     ./build-tsan/tests/test_util \
@@ -95,6 +101,7 @@ if [[ $SKIP_SAN -eq 0 ]]; then
     ./build-tsan/tests/test_metrics --gtest_brief=1
     ./build-tsan/tests/test_serve --gtest_brief=1
     ./build-tsan/tests/test_net --gtest_brief=1
+    ./build-tsan/tests/test_trace --gtest_brief=1
 fi
 
 # ------------------------------------------------------- metrics smoke
@@ -278,6 +285,7 @@ NET_LOG=$(mktemp)
 } > "$NET_JOBS"
 "$GB" serve --listen=127.0.0.1:0 --workers=1 \
     --cache-dir="$NET_CACHE" --json=/tmp/gb_net_serve.json \
+    --trace=/tmp/gb_trace.json \
     > "$NET_LOG" 2>&1 &
 NET_PID=$!
 NET_PORT=
@@ -317,6 +325,48 @@ print("net smoke ok: 8/8 jobs done over TCP, 1 build, "
       f"dispatch classes {classes}")
 EOF
 rm -rf "$NET_CACHE" "$NET_JOBS" "$NET_LOG"
+
+# ------------------------------------------------------- trace smoke
+# The net smoke above ran with --trace, so its timeline exercises every
+# instrumented layer at once: scheduler lifecycle (serve), single-
+# flight prepare (cache), TCP sessions (net), worker participation
+# (pool) and kernel phases (kernel). Validate the Perfetto JSON
+# end-to-end and assert the serve_summary latency percentiles are
+# populated; `trace inspect` must digest the same file.
+step "trace: Perfetto JSON covers all layers, latency columns non-zero"
+python3 - /tmp/gb_trace.json /tmp/gb_net_serve.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+other = doc["otherData"]
+assert other["dropped_events"] == 0, f"dropped events: {other}"
+spans = [e for e in events if e.get("ph") == "X"]
+instants = [e for e in events if e.get("ph") == "i"]
+assert spans and instants, f"empty trace: {other}"
+for e in spans:
+    assert e["dur"] >= 0, f"negative span duration: {e}"
+cats = {e["cat"] for e in spans} | {e["cat"] for e in instants}
+for cat in ("serve", "cache", "net", "pool", "kernel"):
+    assert cat in cats, f"no {cat} events in trace, got {sorted(cats)}"
+# Every admitted job has submit -> terminal coverage.
+def jobs_with(name):
+    return {e["args"]["job"] for e in instants if e["name"] == name}
+submits = jobs_with("job:submit")
+dones = jobs_with("job:done")
+assert submits == set(range(1, 9)), f"submit coverage: {sorted(submits)}"
+assert dones == submits, \
+    f"done coverage: {sorted(dones)} vs {sorted(submits)}"
+summary = [r for r in json.load(open(sys.argv[2]))["rows"]
+           if r["table"] == "serve_summary"][0]
+for key in ("queue_wait_p50_ms", "queue_wait_p95_ms",
+            "queue_wait_p99_ms", "e2e_p50_ms", "e2e_p95_ms",
+            "e2e_p99_ms"):
+    assert summary[key] > 0, f"{key} not populated: {summary.get(key)}"
+print(f"trace smoke ok: {len(spans)} spans + {len(instants)} instants, "
+      "0 dropped, all 5 layers covered, latency columns non-zero")
+EOF
+"$GB" trace inspect /tmp/gb_trace.json --top=5
+rm -f /tmp/gb_trace.json
 
 # ------------------------------------------------- CLI error handling
 step "bench CLI: unknown flags are rejected"

@@ -31,6 +31,20 @@ parseId(const std::string& token)
 
 } // namespace
 
+const char*
+verbName(Verb verb)
+{
+    switch (verb) {
+      case Verb::kSubmit: return "SUBMIT";
+      case Verb::kStatus: return "STATUS";
+      case Verb::kWait: return "WAIT";
+      case Verb::kCancel: return "CANCEL";
+      case Verb::kStats: return "STATS";
+      case Verb::kDrain: return "DRAIN";
+    }
+    return "?";
+}
+
 Request
 parseRequest(const std::string& line)
 {
@@ -126,6 +140,21 @@ statsPayload(const serve::Scheduler::Stats& stats)
         << " queued=" << stats.queued
         << " running=" << stats.running
         << " peak_workers_busy=" << stats.peak_workers_busy;
+    // Latency snapshot: appended after the original fields (and only
+    // ever extended at the end), so pre-existing parsers that scan
+    // the leading keys keep working.
+    const auto& lat = stats.latency;
+    auto emit = [&](const char* prefix,
+                    const serve::Scheduler::LatencyQuantiles& q) {
+        out << ' ' << prefix << "_p50_ms=" << formatF(q.p50_ms, 3)
+            << ' ' << prefix << "_p95_ms=" << formatF(q.p95_ms, 3)
+            << ' ' << prefix << "_p99_ms=" << formatF(q.p99_ms, 3);
+    };
+    out << " lat_jobs=" << lat.jobs;
+    emit("queue_wait", lat.queue_wait);
+    emit("prepare", lat.prepare);
+    emit("run", lat.run);
+    emit("e2e", lat.end_to_end);
     return out.str();
 }
 

@@ -41,6 +41,9 @@ enum class Verb : u8
     kDrain,
 };
 
+/** Wire name of a verb ("SUBMIT", "STATUS", ...). */
+const char* verbName(Verb verb);
+
 /** One parsed request line. */
 struct Request
 {

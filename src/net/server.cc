@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "net/protocol.h"
+#include "trace/trace.h"
 
 namespace gb::net {
 
@@ -69,6 +70,7 @@ Server::acceptLoop()
 void
 Server::session(Connection conn)
 {
+    GB_TRACE_SPAN(trace::Category::kNet, "net:session");
     conn.setReadTimeout(config_.read_timeout_seconds);
     std::string line;
     try {
@@ -90,6 +92,16 @@ Server::handleLine(const std::string& line)
     } catch (const std::exception& e) {
         return errReply(e.what());
     }
+    // One span per request, named after the verb ("net:SUBMIT");
+    // interned from a static set of six names, so no per-request
+    // registry growth. The target job id (0 for SUBMIT/STATS/DRAIN)
+    // rides in the arg.
+    trace::Span request_span(
+        trace::enabled()
+            ? trace::internName(std::string("net:") +
+                                verbName(request.verb))
+            : 0u,
+        trace::Category::kNet, request.id);
     try {
         switch (request.verb) {
           case Verb::kSubmit:
@@ -160,10 +172,11 @@ Server::handleSubmit(const std::string& job_line)
         // stalled.
         return errReply(handle.error());
     }
-    u64 id = 0;
+    // The wire id IS the scheduler's admission id, so a client can
+    // join its replies against trace timelines and serve_job rows.
+    const u64 id = handle.id();
     {
         std::lock_guard<std::mutex> lock(jobs_mutex_);
-        id = next_id_++;
         jobs_.emplace(id, handle);
     }
     return "OK " + std::to_string(id) + ' ' +

@@ -10,8 +10,10 @@
  * scheduler rejection (queue full, draining) becomes an ERR reply,
  * never a stalled client.
  *
- * Job ids are server-assigned (1-based, monotonic) and shared across
- * connections: any client may STATUS/WAIT/CANCEL any id.
+ * Job ids are the scheduler-assigned admission ids (1-based,
+ * monotonic) and shared across connections: any client may
+ * STATUS/WAIT/CANCEL any id, and the id on the wire matches the job's
+ * id in a gb::trace timeline and in serve_job rows.
  *
  * A DRAIN verb stops admissions, runs the scheduler dry (the session
  * thread replies "OK drained" once everything finished) and marks
@@ -109,8 +111,8 @@ class Server
     Listener listener_;
 
     mutable std::mutex jobs_mutex_;
+    /** Keyed by the scheduler's admission id (JobHandle::id()). */
     std::unordered_map<u64, serve::JobHandle> jobs_;
-    u64 next_id_ = 1;
 
     mutable std::mutex sessions_mutex_;
     std::vector<std::thread> session_threads_;

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "trace/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -55,6 +56,8 @@ struct JobState
 {
     JobSpec spec;
     Scheduler* owner = nullptr;
+    /** 1-based admission order; 0 while unadmitted/rejected. */
+    u64 id = 0;
     Clock::time_point submitted_at{};
     /** Times this job, as a class head that did not fit, was jumped
      *  (same-class aging rule; cross-class jumps count too). */
@@ -79,6 +82,13 @@ const JobSpec&
 JobHandle::spec() const
 {
     return state_->spec;
+}
+
+u64
+JobHandle::id() const
+{
+    // Written once before the handle is returned; read-only after.
+    return state_->id;
 }
 
 JobStatus
@@ -179,11 +189,21 @@ Scheduler::submit(JobSpec spec)
         if (admitted) {
             ++submitted_;
             ++queued_;
+            job->id = ++next_job_id_;
         } else {
             ++rejected_;
         }
     }
-    if (!admitted) {
+    if (admitted) {
+        if (trace::enabled()) {
+            trace::recordInstantEx(
+                GB_TRACE_NAME_ID("job:submit"),
+                trace::Category::kServe, job->id,
+                static_cast<u64>(job->spec.priority),
+                trace::threadRank());
+        }
+    } else {
+        GB_TRACE_INSTANT(trace::Category::kServe, "job:reject");
         std::lock_guard<std::mutex> lock(job->m);
         job->status = JobStatus::kRejected;
         job->error = reason;
@@ -274,6 +294,11 @@ Scheduler::dispatchLoop()
         if (!item) break; // closed and empty: drain complete
         std::shared_ptr<JobState> job = std::move(*item);
         const unsigned granted = clampThreads(job->spec.threads);
+        if (trace::enabled()) {
+            trace::recordInstantEx(GB_TRACE_NAME_ID("job:dispatch"),
+                                   trace::Category::kServe, job->id,
+                                   granted, trace::threadRank());
+        }
         free_workers_.fetch_sub(granted, std::memory_order_acq_rel);
         u64 seq = 0;
         {
@@ -301,10 +326,23 @@ void
 Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted,
                   u64 dispatch_seq)
 {
+    // Attribute this thread's events — and, via ThreadPool's
+    // trace_job_id propagation, the per-rank pool events — to the job.
+    trace::ScopedJobId trace_scope(job->id);
+    if (trace::enabled()) {
+        // Queue wait as a span anchored at submission time, so the
+        // timeline shows the gap the p50/p95/p99 columns summarize.
+        trace::recordSpan(GB_TRACE_NAME_ID("job:queue_wait"),
+                          trace::Category::kServe,
+                          trace::toNs(job->submitted_at),
+                          trace::nowNs(),
+                          static_cast<u64>(job->spec.priority));
+    }
+    const double queue_seconds = secondsSince(job->submitted_at);
     {
         std::lock_guard<std::mutex> lock(job->m);
         job->status = JobStatus::kRunning;
-        job->metrics.queue_seconds = secondsSince(job->submitted_at);
+        job->metrics.queue_seconds = queue_seconds;
         job->metrics.pool_threads = granted;
         job->metrics.dispatch_seq = dispatch_seq;
     }
@@ -320,14 +358,28 @@ Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted,
         auto kernel = config_.kernel_factory(job->spec.kernel);
         kernel->setEngine(job->spec.engine);
         WallTimer prep_timer;
-        kernel->prepare(job->spec.size);
+        {
+            // Dynamic name ("prepare:fmi"): interned per call, which
+            // the registry dedups; only paid while tracing is on.
+            trace::Span span(
+                trace::enabled()
+                    ? trace::internName("prepare:" + job->spec.kernel)
+                    : 0u,
+                trace::Category::kKernel, granted);
+            kernel->prepare(job->spec.size);
+        }
         prepare_seconds = prep_timer.seconds();
 
         // This job's slice of the worker budget: the runner thread is
         // rank 0, the pool spawns granted-1 more.
         ThreadPool pool(granted);
         pool.setSchedule(job->spec.schedule);
+        const u32 repeat_name =
+            trace::enabled()
+                ? trace::internName("repeat:" + job->spec.kernel)
+                : 0u;
         for (unsigned r = 0; r < job->spec.repeats; ++r) {
+            trace::Span span(repeat_name, trace::Category::kKernel, r);
             WallTimer timer;
             tasks = kernel->run(pool);
             const double seconds = timer.seconds();
@@ -344,6 +396,14 @@ Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted,
         error = "unknown error";
     }
 
+    if (final_status == JobStatus::kDone) {
+        GB_TRACE_INSTANT(trace::Category::kServe, "job:done",
+                         repeats_completed);
+    } else {
+        GB_TRACE_INSTANT(trace::Category::kServe, "job:failed");
+    }
+
+    const double e2e_seconds = secondsSince(job->submitted_at);
     {
         // On a mid-repeat failure the metrics stay mutually
         // consistent: run_seconds / best_run_seconds / tasks all
@@ -372,6 +432,13 @@ Scheduler::runJob(std::shared_ptr<JobState> job, unsigned granted,
         } else {
             ++failed_;
         }
+        // Latency decomposition in the counters' critical section, so
+        // a stats() snapshot's quantiles always describe exactly its
+        // completed + failed jobs. Nanosecond samples (see header).
+        queue_wait_ns_.add(queue_seconds * 1e9);
+        prepare_ns_.add(prepare_seconds * 1e9);
+        run_ns_.add(run_seconds * 1e9);
+        e2e_ns_.add(e2e_seconds * 1e9);
         --running_;
         idle_cv_.notify_all();
     }
@@ -386,6 +453,11 @@ Scheduler::cancelJob(const std::shared_ptr<JobState>& job,
             return pending.get() == job.get();
         });
     if (!removed) return false; // dispatched, terminal, or rejected
+    if (trace::enabled()) {
+        trace::recordInstantEx(GB_TRACE_NAME_ID("job:cancelled"),
+                               trace::Category::kServe, job->id, 0,
+                               trace::threadRank());
+    }
     {
         std::lock_guard<std::mutex> lock(job->m);
         job->status = JobStatus::kCancelled;
@@ -456,6 +528,19 @@ Scheduler::stats() const
     stats.cancelled = cancelled_;
     stats.running = running_;
     stats.peak_workers_busy = peak_busy_;
+    auto quantiles = [](const LogHistogram& h) {
+        LatencyQuantiles q;
+        if (h.total() == 0) return q;
+        q.p50_ms = h.quantile(0.50) / 1e6; // ns -> ms
+        q.p95_ms = h.quantile(0.95) / 1e6;
+        q.p99_ms = h.quantile(0.99) / 1e6;
+        return q;
+    };
+    stats.latency.jobs = queue_wait_ns_.total();
+    stats.latency.queue_wait = quantiles(queue_wait_ns_);
+    stats.latency.prepare = quantiles(prepare_ns_);
+    stats.latency.run = quantiles(run_ns_);
+    stats.latency.end_to_end = quantiles(e2e_ns_);
     return stats;
 }
 

@@ -60,6 +60,7 @@
 #include "serve/bounded_queue.h"
 #include "serve/job.h"
 #include "util/common.h"
+#include "util/stats.h"
 
 namespace gb::serve {
 
@@ -111,6 +112,14 @@ class JobHandle
 {
   public:
     const JobSpec& spec() const;
+
+    /**
+     * Scheduler-assigned job id: 1-based admission order, stable for
+     * the scheduler's lifetime. 0 for jobs that were never admitted
+     * (kRejected). The same id tags every gb::trace event of the job,
+     * so a trace timeline joins against STATUS/serve_job rows.
+     */
+    u64 id() const;
 
     JobStatus status() const;
 
@@ -167,6 +176,30 @@ class Scheduler
         std::vector<std::string> kernels;
     };
 
+    /** p50/p95/p99 of one latency component, milliseconds. */
+    struct LatencyQuantiles
+    {
+        double p50_ms = 0.0;
+        double p95_ms = 0.0;
+        double p99_ms = 0.0;
+    };
+
+    /**
+     * Per-job latency decomposition over every dispatched job that
+     * reached kDone or kFailed, estimated from LogHistograms of
+     * nanosecond samples (fine bin base, so the quantile error is a
+     * few percent, not a power of two). All zeros until the first job
+     * finishes.
+     */
+    struct LatencySnapshot
+    {
+        u64 jobs = 0; ///< finished jobs the quantiles describe
+        LatencyQuantiles queue_wait;  ///< submit -> dispatch
+        LatencyQuantiles prepare;     ///< kernel prepare() wall
+        LatencyQuantiles run;         ///< total repeat wall
+        LatencyQuantiles end_to_end;  ///< submit -> terminal
+    };
+
     /** Server-level counters (stats()). */
     struct Stats
     {
@@ -180,6 +213,9 @@ class Scheduler
         size_t queued = 0;  ///< currently waiting
         unsigned running = 0;
         unsigned peak_workers_busy = 0;
+        /** Taken in the same critical section as the counters, so the
+         *  quantiles describe exactly `completed + failed` jobs. */
+        LatencySnapshot latency;
     };
 
     explicit Scheduler(Config config);
@@ -256,6 +292,19 @@ class Scheduler
     u64 failed_ = 0;
     u64 cancelled_ = 0;
     u64 dispatch_seq_ = 0; ///< jobs dispatched so far (1-based seq)
+    u64 next_job_id_ = 0;  ///< ids handed out at admission (1-based)
+
+    /**
+     * Latency decomposition histograms (guarded by mutex_). Samples
+     * are nanoseconds — LogHistogram clamps values below 1 into its
+     * first bin, so ms-scale samples must arrive in a fine unit — and
+     * the bin base is ~1.15 for a few-percent quantile error.
+     */
+    static constexpr double kLatencyBase = 1.15;
+    LogHistogram queue_wait_ns_{kLatencyBase};
+    LogHistogram prepare_ns_{kLatencyBase};
+    LogHistogram run_ns_{kLatencyBase};
+    LogHistogram e2e_ns_{kLatencyBase};
 
     std::mutex join_mutex_; ///< serializes dispatcher_.join()
     std::thread dispatcher_;

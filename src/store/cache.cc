@@ -1,5 +1,7 @@
 #include "store/cache.h"
 
+#include "trace/trace.h"
+
 #include <condition_variable>
 #include <cstdio>
 #include <filesystem>
@@ -159,6 +161,7 @@ ArtifactCache::fetchOrBuild(
     if (!enabled()) {
         // No shared medium to dedup through: every caller builds.
         builds_.fetch_add(1, std::memory_order_relaxed);
+        GB_TRACE_SPAN(trace::Category::kCache, "cache:build", key);
         build();
         return false;
     }
@@ -167,13 +170,18 @@ ArtifactCache::fetchOrBuild(
     std::unique_lock<std::mutex> lock(flight.m);
     if (flight.building) {
         flight_waits_.fetch_add(1, std::memory_order_relaxed);
-        flight.cv.wait(lock, [&] { return !flight.building; });
+        {
+            GB_TRACE_SPAN(trace::Category::kCache, "cache:flight_wait",
+                          key);
+            flight.cv.wait(lock, [&] { return !flight.building; });
+        }
         lock.unlock();
         // The builder finished; its artifact should now load. If it
         // could not persist (disk full, ...), build locally — dedup
         // is an optimization, usable state is the contract.
         if (load(family, key, use)) return true;
         builds_.fetch_add(1, std::memory_order_relaxed);
+        GB_TRACE_SPAN(trace::Category::kCache, "cache:build", key);
         build();
         return false;
     }
@@ -187,6 +195,7 @@ ArtifactCache::fetchOrBuild(
         loaded = load(family, key, use);
         if (!loaded) {
             builds_.fetch_add(1, std::memory_order_relaxed);
+            GB_TRACE_SPAN(trace::Category::kCache, "cache:build", key);
             build();
         }
     } catch (...) {

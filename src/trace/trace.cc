@@ -1,0 +1,791 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace gb::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+/** One recorded event, fixed-size POD (40 bytes). */
+struct Event
+{
+    u64 begin_ns;
+    u64 end_ns; ///< == begin_ns for instants
+    u64 job_id;
+    u64 arg;
+    u32 name_id;
+    u8 category;
+    u8 instant;
+    u16 thread_rank;
+};
+
+/**
+ * One thread's ring. Single writer (the owning thread); readers
+ * (export, counts) only run while recorders are quiescent, but the
+ * `written` counter is atomic so concurrent counts() stay clean under
+ * TSan. The buffer itself is never deallocated while the process
+ * lives — threads cache a raw pointer to it — only reset/resized by
+ * start() under the registry lock.
+ */
+struct ThreadBuffer
+{
+    u32 id = 0;                 ///< stable ring id (export "tid")
+    std::vector<Event> ring;    ///< capacity-sized storage
+    std::atomic<u64> written{0}; ///< events ever recorded
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+    size_t ring_capacity = kDefaultRingCapacity;
+
+    std::mutex names_mutex;
+    std::vector<std::string> names;            // index = id - 1
+    std::unordered_map<std::string, u32> ids;
+};
+
+Registry&
+registry()
+{
+    static Registry* r = new Registry; // leaked: threads hold pointers
+    return *r;
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+thread_local u64 t_job_id = 0;
+thread_local u16 t_rank = 0;
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const std::chrono::steady_clock::time_point e =
+        std::chrono::steady_clock::now();
+    return e;
+}
+
+ThreadBuffer*
+myBuffer()
+{
+    if (t_buffer == nullptr) {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto buf = std::make_unique<ThreadBuffer>();
+        buf->id = static_cast<u32>(r.buffers.size());
+        buf->ring.resize(r.ring_capacity);
+        t_buffer = buf.get();
+        r.buffers.push_back(std::move(buf));
+    }
+    return t_buffer;
+}
+
+void
+push(ThreadBuffer* buf, const Event& ev)
+{
+    const u64 written = buf->written.load(std::memory_order_relaxed);
+    buf->ring[written % buf->ring.size()] = ev;
+    buf->written.store(written + 1, std::memory_order_release);
+}
+
+void
+record(u32 name_id, Category category, bool instant, u64 begin_ns,
+       u64 end_ns, u64 job_id, u64 arg, u16 rank)
+{
+    if (name_id == 0 || !enabled()) return;
+    Event ev;
+    ev.begin_ns = begin_ns;
+    ev.end_ns = end_ns < begin_ns ? begin_ns : end_ns;
+    ev.job_id = job_id;
+    ev.arg = arg;
+    ev.name_id = name_id;
+    ev.category = static_cast<u8>(category);
+    ev.instant = instant ? 1 : 0;
+    ev.thread_rank = rank;
+    push(myBuffer(), ev);
+}
+
+/** JSON-escape `s` (quotes, backslashes, control chars). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Format trace ns as microseconds with ns precision ("12.345"). */
+std::string
+formatUs(u64 ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+const char*
+categoryName(Category category)
+{
+    switch (category) {
+    case Category::kServe: return "serve";
+    case Category::kCache: return "cache";
+    case Category::kNet: return "net";
+    case Category::kPool: return "pool";
+    case Category::kKernel: return "kernel";
+    case Category::kOther: return "other";
+    }
+    return "other";
+}
+
+u32
+internName(std::string_view name)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.names_mutex);
+    std::string key(name);
+    auto it = r.ids.find(key);
+    if (it != r.ids.end()) return it->second;
+    r.names.push_back(key);
+    const u32 id = static_cast<u32>(r.names.size()); // 1-based
+    r.ids.emplace(std::move(key), id);
+    return id;
+}
+
+std::string
+nameOf(u32 id)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.names_mutex);
+    if (id == 0 || id > r.names.size()) return "?";
+    return r.names[id - 1];
+}
+
+u64
+nowNs()
+{
+    const auto dt = std::chrono::steady_clock::now() - epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+    return ns < 1 ? 1u : static_cast<u64>(ns);
+}
+
+u64
+toNs(std::chrono::steady_clock::time_point tp)
+{
+    const auto dt = tp - epoch();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+    return ns < 1 ? 1u : static_cast<u64>(ns);
+}
+
+void
+start(size_t ring_capacity)
+{
+    requireInput(ring_capacity > 0, "trace ring capacity must be > 0");
+    (void)epoch(); // pin the epoch before the first event
+    Registry& r = registry();
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.ring_capacity = ring_capacity;
+        for (auto& buf : r.buffers) {
+            buf->written.store(0, std::memory_order_relaxed);
+            if (buf->ring.size() != ring_capacity) {
+                buf->ring.assign(ring_capacity, Event{});
+            }
+        }
+    }
+    detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void
+stop()
+{
+    detail::g_enabled.store(false, std::memory_order_release);
+}
+
+u64
+currentJobId()
+{
+    return t_job_id;
+}
+
+ScopedJobId::ScopedJobId(u64 job_id) : saved_(t_job_id)
+{
+    t_job_id = job_id;
+}
+
+ScopedJobId::~ScopedJobId()
+{
+    t_job_id = saved_;
+}
+
+void
+setThreadRank(u16 rank)
+{
+    t_rank = rank;
+}
+
+u16
+threadRank()
+{
+    return t_rank;
+}
+
+void
+recordSpan(u32 name_id, Category category, u64 begin_ns, u64 end_ns,
+           u64 arg)
+{
+    record(name_id, category, false, begin_ns, end_ns, t_job_id, arg,
+           t_rank);
+}
+
+void
+recordSpanEx(u32 name_id, Category category, u64 begin_ns, u64 end_ns,
+             u64 job_id, u64 arg, u16 rank)
+{
+    record(name_id, category, false, begin_ns, end_ns, job_id, arg,
+           rank);
+}
+
+void
+recordInstant(u32 name_id, Category category, u64 arg)
+{
+    const u64 now = nowNs();
+    record(name_id, category, true, now, now, t_job_id, arg, t_rank);
+}
+
+void
+recordInstantEx(u32 name_id, Category category, u64 job_id, u64 arg,
+                u16 rank)
+{
+    const u64 now = nowNs();
+    record(name_id, category, true, now, now, job_id, arg, rank);
+}
+
+Counts
+counts()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    Counts c;
+    c.rings = r.buffers.size();
+    for (const auto& buf : r.buffers) {
+        const u64 written = buf->written.load(std::memory_order_acquire);
+        c.recorded += written;
+        if (written > buf->ring.size()) {
+            c.dropped += written - buf->ring.size();
+        }
+    }
+    return c;
+}
+
+std::vector<EventView>
+snapshot()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    struct Raw
+    {
+        Event ev;
+        u32 ring;
+    };
+    std::vector<Raw> raw;
+    for (const auto& buf : r.buffers) {
+        const u64 written = buf->written.load(std::memory_order_acquire);
+        const u64 cap = buf->ring.size();
+        const u64 kept = written < cap ? written : cap;
+        for (u64 i = written - kept; i < written; ++i) {
+            raw.push_back({buf->ring[i % cap], buf->id});
+        }
+    }
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const Raw& a, const Raw& b) {
+                         return a.ev.begin_ns < b.ev.begin_ns;
+                     });
+    std::vector<EventView> out;
+    out.reserve(raw.size());
+    for (const Raw& rw : raw) {
+        EventView v;
+        v.name = nameOf(rw.ev.name_id);
+        v.category = static_cast<Category>(rw.ev.category);
+        v.instant = rw.ev.instant != 0;
+        v.begin_ns = rw.ev.begin_ns;
+        v.end_ns = rw.ev.end_ns;
+        v.job_id = rw.ev.job_id;
+        v.arg = rw.ev.arg;
+        v.thread_rank = rw.ev.thread_rank;
+        v.ring = rw.ring;
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+ExportStats
+writeChromeTrace(std::ostream& out)
+{
+    const Counts c = counts();
+    const std::vector<EventView> events = snapshot();
+
+    ExportStats stats;
+    stats.events = events.size();
+    stats.dropped = c.dropped;
+    stats.rings = c.rings;
+
+    out << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first) out << ",\n";
+        first = false;
+    };
+    for (const EventView& ev : events) {
+        sep();
+        out << "{\"name\":\"" << jsonEscape(ev.name) << "\",\"cat\":\""
+            << categoryName(ev.category) << "\",\"ph\":\""
+            << (ev.instant ? "i" : "X") << "\",\"ts\":"
+            << formatUs(ev.begin_ns);
+        if (!ev.instant) {
+            out << ",\"dur\":" << formatUs(ev.end_ns - ev.begin_ns);
+        } else {
+            out << ",\"s\":\"t\"";
+        }
+        out << ",\"pid\":1,\"tid\":" << ev.ring << ",\"args\":{\"job\":"
+            << ev.job_id << ",\"arg\":" << ev.arg << ",\"rank\":"
+            << ev.thread_rank << "}}";
+    }
+    sep();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"genomicsbench\"}}";
+    for (u64 ring = 0; ring < stats.rings; ++ring) {
+        sep();
+        out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+            << ring << ",\"args\":{\"name\":\"thread " << ring << "\"}}";
+    }
+    out << "\n],\n\"otherData\": {\"rings\": " << stats.rings
+        << ", \"recorded_events\": " << c.recorded
+        << ", \"dropped_events\": " << stats.dropped << "}\n}\n";
+    return stats;
+}
+
+ExportStats
+writeChromeTraceFile(const std::string& path)
+{
+    std::ofstream out(path);
+    requireInput(out.good(),
+                 "cannot open trace output file: " + path);
+    const ExportStats stats = writeChromeTrace(out);
+    out.flush();
+    requireInput(out.good(), "failed writing trace file: " + path);
+    return stats;
+}
+
+// ---------------------------------------------------------------------
+// Parsing (mini JSON reader, no external deps)
+
+namespace {
+
+/** A parsed JSON value (enough for trace documents). */
+struct JsonValue
+{
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject
+    };
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue* find(const std::string& key) const
+    {
+        for (const auto& [k, v] : object) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+};
+
+/** Recursive-descent JSON parser with strict syntax checking. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size()) fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what)
+    {
+        throw InputError("trace JSON parse error at byte " +
+                         std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{') return parseObject();
+        if (c == '[') return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.type = JsonValue::Type::kString;
+            v.str = parseString();
+            return v;
+        }
+        if (c == 't' || c == 'f') return parseKeyword(c == 't');
+        if (c == 'n') return parseNull();
+        return parseNumber();
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::kObject;
+        expect('{');
+        skipWs();
+        if (consume('}')) return v;
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (consume('}')) return v;
+            expect(',');
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue v;
+        v.type = JsonValue::Type::kArray;
+        expect('[');
+        skipWs();
+        if (consume(']')) return v;
+        while (true) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (consume(']')) return v;
+            expect(',');
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= h - '0';
+                    else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+                    else fail("bad \\u escape digit");
+                }
+                // Trace names are ASCII; encode BMP points as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseKeyword(bool truthy)
+    {
+        const std::string_view word = truthy ? "true" : "false";
+        if (text_.substr(pos_, word.size()) != word) fail("bad keyword");
+        pos_ += word.size();
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = truthy;
+        return v;
+    }
+
+    JsonValue parseNull()
+    {
+        if (text_.substr(pos_, 4) != "null") fail("bad keyword");
+        pos_ += 4;
+        return JsonValue{};
+    }
+
+    JsonValue parseNumber()
+    {
+        const size_t begin = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == begin) fail("expected a value");
+        const std::string token(text_.substr(begin, pos_ - begin));
+        char* end = nullptr;
+        const double num = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') fail("bad number");
+        JsonValue v;
+        v.type = JsonValue::Type::kNumber;
+        v.number = num;
+        return v;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+double
+numberField(const JsonValue& obj, const std::string& key, double fallback)
+{
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+        return fallback;
+    }
+    return v->number;
+}
+
+std::string
+stringField(const JsonValue& obj, const std::string& key)
+{
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kString) return "";
+    return v->str;
+}
+
+} // namespace
+
+ParsedTrace
+parseChromeTrace(std::istream& in)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    JsonParser parser(text);
+    const JsonValue doc = parser.parseDocument();
+    requireInput(doc.type == JsonValue::Type::kObject,
+                 "trace document is not a JSON object");
+    const JsonValue* events = doc.find("traceEvents");
+    requireInput(events != nullptr &&
+                     events->type == JsonValue::Type::kArray,
+                 "trace document has no traceEvents array");
+
+    ParsedTrace trace;
+    for (const JsonValue& ev : events->array) {
+        requireInput(ev.type == JsonValue::Type::kObject,
+                     "traceEvents entry is not an object");
+        ParsedEvent pe;
+        pe.name = stringField(ev, "name");
+        pe.category = stringField(ev, "cat");
+        pe.phase = stringField(ev, "ph");
+        pe.tid = static_cast<u64>(numberField(ev, "tid", 0));
+        pe.ts_us = numberField(ev, "ts", 0);
+        pe.dur_us = numberField(ev, "dur", 0);
+        if (const JsonValue* args = ev.find("args");
+            args != nullptr && args->type == JsonValue::Type::kObject) {
+            pe.job_id = static_cast<u64>(numberField(*args, "job", 0));
+            pe.arg = static_cast<u64>(numberField(*args, "arg", 0));
+            pe.rank = static_cast<u64>(numberField(*args, "rank", 0));
+        }
+        requireInput(!pe.phase.empty(),
+                     "trace event missing ph field");
+        if (pe.phase == "M") {
+            trace.metadata.push_back(std::move(pe));
+        } else {
+            trace.events.push_back(std::move(pe));
+        }
+    }
+    if (const JsonValue* other = doc.find("otherData");
+        other != nullptr && other->type == JsonValue::Type::kObject) {
+        trace.recorded_events = static_cast<u64>(
+            numberField(*other, "recorded_events", 0));
+        trace.dropped_events = static_cast<u64>(
+            numberField(*other, "dropped_events", 0));
+        trace.rings = static_cast<u64>(numberField(*other, "rings", 0));
+    }
+    return trace;
+}
+
+ParsedTrace
+parseChromeTraceFile(const std::string& path)
+{
+    std::ifstream in(path);
+    requireInput(in.good(), "cannot open trace file: " + path);
+    return parseChromeTrace(in);
+}
+
+InspectSummary
+summarize(const ParsedTrace& trace, size_t top_n)
+{
+    InspectSummary s;
+    s.dropped_events = trace.dropped_events;
+    s.rings = trace.rings;
+
+    std::map<std::string, SpanAggregate> by_cat;
+    std::map<std::string, SpanAggregate> by_name;
+    double min_ts = 0.0, max_end = 0.0;
+    bool any = false;
+    std::vector<const ParsedEvent*> spans;
+
+    for (const ParsedEvent& ev : trace.events) {
+        if (ev.phase == "i") {
+            ++s.instants;
+            continue;
+        }
+        if (ev.phase != "X") continue;
+        ++s.spans;
+        spans.push_back(&ev);
+        if (!any || ev.ts_us < min_ts) min_ts = ev.ts_us;
+        if (!any || ev.ts_us + ev.dur_us > max_end) {
+            max_end = ev.ts_us + ev.dur_us;
+        }
+        any = true;
+
+        SpanAggregate& cat = by_cat[ev.category];
+        cat.name = ev.category;
+        cat.category = ev.category;
+        ++cat.count;
+        cat.total_us += ev.dur_us;
+        if (ev.dur_us > cat.max_us) cat.max_us = ev.dur_us;
+
+        SpanAggregate& nm = by_name[ev.name];
+        nm.name = ev.name;
+        nm.category = ev.category;
+        ++nm.count;
+        nm.total_us += ev.dur_us;
+        if (ev.dur_us > nm.max_us) nm.max_us = ev.dur_us;
+    }
+    if (any) s.extent_us = max_end - min_ts;
+
+    for (auto& [key, agg] : by_cat) {
+        (void)key;
+        s.by_category.push_back(agg);
+    }
+    for (auto& [key, agg] : by_name) {
+        (void)key;
+        s.by_name.push_back(agg);
+    }
+    std::stable_sort(s.by_name.begin(), s.by_name.end(),
+                     [](const SpanAggregate& a, const SpanAggregate& b) {
+                         return a.total_us > b.total_us;
+                     });
+
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const ParsedEvent* a, const ParsedEvent* b) {
+                         return a->dur_us > b->dur_us;
+                     });
+    if (spans.size() > top_n) spans.resize(top_n);
+    for (const ParsedEvent* ev : spans) s.longest.push_back(*ev);
+    return s;
+}
+
+} // namespace gb::trace

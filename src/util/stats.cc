@@ -45,4 +45,57 @@ LogHistogram::add(double x)
     ++total_;
 }
 
+void
+LogHistogram::merge(const LogHistogram& o)
+{
+    requireInput(base_ == o.base_,
+                 "LogHistogram::merge requires an equal bin base");
+    if (o.total_ == 0) return;
+    if (total_ == 0) {
+        min_bin_ = o.min_bin_;
+        counts_ = o.counts_;
+        total_ = o.total_;
+        return;
+    }
+    const int lo = std::min(min_bin_, o.min_bin_);
+    const int hi =
+        std::max(min_bin_ + static_cast<int>(counts_.size()),
+                 o.min_bin_ + static_cast<int>(o.counts_.size()));
+    if (lo < min_bin_) {
+        counts_.insert(counts_.begin(), static_cast<size_t>(min_bin_ - lo),
+                       0);
+        min_bin_ = lo;
+    }
+    counts_.resize(static_cast<size_t>(hi - min_bin_), 0);
+    for (size_t i = 0; i < o.counts_.size(); ++i) {
+        counts_[static_cast<size_t>(o.min_bin_ - min_bin_) + i] +=
+            o.counts_[i];
+    }
+    total_ += o.total_;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (total_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    int last_nonzero = min_bin_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const u64 c = counts_[i];
+        if (c == 0) continue;
+        const int b = min_bin_ + static_cast<int>(i);
+        last_nonzero = b;
+        if (cum + static_cast<double>(c) >= target) {
+            const double frac = (target - cum) / static_cast<double>(c);
+            return binLow(b) + frac * (binHigh(b) - binLow(b));
+        }
+        cum += static_cast<double>(c);
+    }
+    // Only reachable when floating-point round-off leaves target a
+    // hair above the final cumulative count: clamp to the top edge.
+    return binHigh(last_nonzero);
+}
+
 } // namespace gb

@@ -108,9 +108,30 @@ class LogHistogram
     /** Lower edge of bin b. */
     double binLow(int b) const { return std::pow(base_, b); }
 
+    /** Upper edge of bin b (== binLow(b + 1)). */
+    double binHigh(int b) const { return std::pow(base_, b + 1); }
+
     const std::vector<u64>& counts() const { return counts_; }
     int minBin() const { return min_bin_; }
     u64 total() const { return total_; }
+    double base() const { return base_; }
+
+    /**
+     * Merge another histogram into this one. Requires an equal bin
+     * base (throws InputError otherwise); the result is identical to
+     * having add()ed both sample streams into one histogram.
+     */
+    void merge(const LogHistogram& o);
+
+    /**
+     * Inverse-CDF estimate of the q-th quantile (q in [0, 1]) with
+     * linear interpolation inside the target bin (samples assumed
+     * uniform within a bin). Returns 0 for an empty histogram. Values
+     * below 1 were clamped into bin 0 at add() time, so the estimate
+     * never drops below 1 — record sub-unit quantities in a finer
+     * unit (e.g. latencies in nanoseconds).
+     */
+    double quantile(double q) const;
 
   private:
     double base_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "trace/trace.h"
+
 namespace gb {
 
 namespace {
@@ -78,6 +80,7 @@ ThreadPool::telemetry() const
 void
 ThreadPool::workerLoop(unsigned rank)
 {
+    trace::setThreadRank(static_cast<u16>(rank));
     u64 seen_generation = 0;
     for (;;) {
         Job* job = nullptr;
@@ -214,6 +217,12 @@ ThreadPool::runSteal(Job& job, unsigned rank, unsigned slot,
             mine.range.store(packRange(mid, ve),
                              std::memory_order_release);
             ++steals;
+            if (trace::enabled()) {
+                trace::recordInstantEx(GB_TRACE_NAME_ID("pool:steal"),
+                                       trace::Category::kPool,
+                                       job.trace_job_id, victim,
+                                       static_cast<u16>(rank));
+            }
         }
         // On CAS failure the victim moved on; rescan from scratch.
     }
@@ -231,6 +240,13 @@ ThreadPool::runJob(Job& job, unsigned rank, unsigned slot)
         runSteal(job, rank, slot, busy, chunks, indices, steals);
     } else {
         runDynamic(job, rank, busy, chunks, indices);
+    }
+    if (trace::enabled()) {
+        // indices as the arg: how much of the loop this rank ran.
+        trace::recordSpanEx(GB_TRACE_NAME_ID("pool:participate"),
+                            trace::Category::kPool, trace::toNs(entered),
+                            trace::nowNs(), job.trace_job_id, indices,
+                            static_cast<u16>(rank));
     }
     RankTelemetry& t = slots_[rank].t;
     t.busy_seconds += busy;
@@ -260,6 +276,7 @@ ThreadPool::parallelForPolicy(
         // chunk accounting stays consistent (sum == ceilDiv(n, grain)).
         const u64 g = std::max<u64>(1, grain);
         RankTelemetry& t = slots_[0].t;
+        GB_TRACE_SPAN(trace::Category::kPool, "pool:participate", n);
         const auto start = Clock::now();
         try {
             for (u64 i = 0; i < n; ++i) body(i, 0);
@@ -287,6 +304,7 @@ ThreadPool::parallelForPolicy(
     job.n = n;
     job.grain = grain;
     job.body = &body;
+    job.trace_job_id = trace::currentJobId();
     job.participants = static_cast<unsigned>(
         std::min<u64>(num_threads_, ceilDiv(n, g)));
     if (policy == SchedulePolicy::kSteal) {

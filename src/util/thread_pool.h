@@ -174,6 +174,10 @@ class ThreadPool
         unsigned participants = 1;
         /** Participant slots handed out; guarded by pool mutex_. */
         unsigned arrived = 1;
+        /** gb::trace job id of the submitting thread, propagated so
+         *  worker-rank events attribute to the serve job they run
+         *  for (0 when tracing is off or no job scope is active). */
+        u64 trace_job_id = 0;
         std::atomic<u64> cursor{0}; ///< kDynamic shared claim cursor
         std::atomic<unsigned> done_workers{0};
         std::exception_ptr error;

@@ -141,6 +141,38 @@ TEST(NetProtocol, StatusPayloadShapes)
     EXPECT_EQ(queued, "7 queued");
 }
 
+TEST(NetProtocol, StatsPayloadPinsFieldOrder)
+{
+    Scheduler::Stats stats;
+    stats.workers = 2;
+    stats.queue_depth = 8;
+    stats.submitted = 5;
+    stats.rejected = 1;
+    stats.completed = 3;
+    stats.failed = 1;
+    stats.cancelled = 0;
+    stats.queued = 0;
+    stats.running = 0;
+    stats.peak_workers_busy = 2;
+    stats.latency.jobs = 4;
+    stats.latency.queue_wait = {0.5, 1.25, 2.0};
+    stats.latency.prepare = {1.0, 2.0, 3.0};
+    stats.latency.run = {4.0, 5.0, 6.0};
+    stats.latency.end_to_end = {5.5, 7.0, 9.0};
+    // The legacy prefix is frozen and the latency snapshot is
+    // append-only: new fields may only ever be added at the end.
+    EXPECT_EQ(net::statsPayload(stats),
+              "workers=2 queue_depth=8 submitted=5 rejected=1 "
+              "completed=3 failed=1 cancelled=0 queued=0 running=0 "
+              "peak_workers_busy=2 lat_jobs=4 "
+              "queue_wait_p50_ms=0.500 queue_wait_p95_ms=1.250 "
+              "queue_wait_p99_ms=2.000 "
+              "prepare_p50_ms=1.000 prepare_p95_ms=2.000 "
+              "prepare_p99_ms=3.000 "
+              "run_p50_ms=4.000 run_p95_ms=5.000 run_p99_ms=6.000 "
+              "e2e_p50_ms=5.500 e2e_p95_ms=7.000 e2e_p99_ms=9.000");
+}
+
 // ---------------------------------------------------------------------
 // Socket primitives
 
@@ -345,6 +377,36 @@ TEST(NetServer, SubmitStatusWaitRoundTrip)
     const std::string stats = roundTrip(conn, "STATS");
     EXPECT_EQ(stats.rfind("OK workers=1", 0), 0u) << stats;
     EXPECT_NE(stats.find("submitted=1"), std::string::npos) << stats;
+}
+
+TEST(NetServer, StatsReplyKeepsLegacyFieldsAndAppendsLatency)
+{
+    TestServer ts({"a"}, 1, 8);
+    Connection conn = ts.connect();
+    roundTrip(conn, "SUBMIT a");
+    roundTrip(conn, "WAIT 1");
+    const std::string stats = roundTrip(conn, "STATS");
+    EXPECT_EQ(stats.rfind("OK workers=1", 0), 0u) << stats;
+    // The legacy counters stay where parsers expect them...
+    for (const char* key :
+         {" queue_depth=", " submitted=1", " rejected=", " completed=1",
+          " failed=", " cancelled=", " queued=", " running=",
+          " peak_workers_busy="}) {
+        EXPECT_NE(stats.find(key), std::string::npos)
+            << key << " missing in: " << stats;
+    }
+    // ...and the latency snapshot is appended after all of them.
+    EXPECT_NE(stats.find(" lat_jobs=1"), std::string::npos) << stats;
+    EXPECT_GT(stats.find(" lat_jobs="),
+              stats.find(" peak_workers_busy="));
+    for (const std::string prefix :
+         {"queue_wait", "prepare", "run", "e2e"}) {
+        for (const char* suffix : {"_p50_ms=", "_p95_ms=", "_p99_ms="}) {
+            EXPECT_NE(stats.find(' ' + prefix + suffix),
+                      std::string::npos)
+                << prefix << suffix << " missing in: " << stats;
+        }
+    }
 }
 
 TEST(NetServer, DispatchesStrictPriorityOrderOverTheWire)

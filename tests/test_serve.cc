@@ -596,6 +596,54 @@ TEST(ServeScheduler, StatsSnapshotsAreConsistentUnderLoad)
     EXPECT_EQ(stats.submitted, stats.completed);
 }
 
+TEST(ServeScheduler, HandleIdsAreAdmissionOrder)
+{
+    FakeControl control;
+    control.gated.insert("gate");
+    Scheduler scheduler(fakeConfig(&control, {"gate", "a"}, 1, 1));
+    auto blocker = scheduler.submit(job("gate"));
+    control.awaitStart("gate"); // worker busy, queue empty
+    auto second = scheduler.submit(job("a"));
+    auto rejected = scheduler.submit(job("a")); // queue holds 1
+    EXPECT_EQ(blocker.id(), 1u);
+    EXPECT_EQ(second.id(), 2u);
+    // A rejected job was never admitted and gets no id.
+    EXPECT_EQ(rejected.status(), JobStatus::kRejected);
+    EXPECT_EQ(rejected.id(), 0u);
+    control.release("gate");
+    scheduler.drain();
+}
+
+TEST(ServeScheduler, LatencySnapshotCoversFinishedJobs)
+{
+    FakeControl control;
+    Scheduler scheduler(fakeConfig(&control, {"a", "boom"}, 2, 8));
+    // An empty scheduler reports an all-zero snapshot.
+    const auto empty = scheduler.stats().latency;
+    EXPECT_EQ(empty.jobs, 0u);
+    EXPECT_DOUBLE_EQ(empty.end_to_end.p50_ms, 0.0);
+
+    for (int i = 0; i < 3; ++i) scheduler.submit(job("a"));
+    scheduler.submit(job("boom")); // failed jobs count too
+    scheduler.drain();
+
+    const auto stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 3u);
+    EXPECT_EQ(stats.failed, 1u);
+    const auto& lat = stats.latency;
+    EXPECT_EQ(lat.jobs, 4u); // completed + failed
+    // Every decomposition stage produced positive quantiles with
+    // p50 <= p95 <= p99, and a job's end-to-end latency dominates its
+    // queue wait.
+    for (const auto* q : {&lat.queue_wait, &lat.prepare, &lat.run,
+                          &lat.end_to_end}) {
+        EXPECT_GT(q->p50_ms, 0.0);
+        EXPECT_LE(q->p50_ms, q->p95_ms);
+        EXPECT_LE(q->p95_ms, q->p99_ms);
+    }
+    EXPECT_GE(lat.end_to_end.p99_ms, lat.queue_wait.p50_ms);
+}
+
 TEST(ServeScheduler, WaitForZeroAndNegativeTimeouts)
 {
     FakeControl control;

@@ -224,6 +224,77 @@ TEST(LogHistogram, MixedMagnitudesKeepTotal)
     EXPECT_EQ(h.binOf(2e6), 6);
 }
 
+TEST(LogHistogram, QuantileOfEmptyIsZero)
+{
+    LogHistogram h(2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(LogHistogram, QuantileInterpolatesWithinSingleBin)
+{
+    LogHistogram h(2.0);
+    for (int i = 0; i < 4; ++i) h.add(1.0); // all in bin 0 = [1, 2)
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // bin lower edge
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);  // uniform-in-bin midpoint
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);  // bin upper edge
+    // Out-of-range q clamps rather than extrapolating.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), 2.0);
+}
+
+TEST(LogHistogram, QuantileInterpolatesAcrossBins)
+{
+    LogHistogram h(2.0);
+    for (double v : {1.0, 2.0, 4.0, 8.0}) h.add(v); // bins 0..3, 1 each
+    // target 2.4 samples: 1 in bin 0, 1 in bin 1, then 0.4 of bin 2's
+    // single sample -> 4 + 0.4 * (8 - 4).
+    EXPECT_DOUBLE_EQ(h.quantile(0.6), 5.6);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0); // exactly exhausts bin 1
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 16.0); // top edge of last bin
+}
+
+TEST(LogHistogram, MergeMatchesCombinedStream)
+{
+    // Different magnitude ranges so the merge has to extend the bin
+    // range on both sides of the destination.
+    const std::vector<double> a{100.0, 300.0, 5000.0};
+    const std::vector<double> b{0.5, 3.0, 7.0, 20.0};
+    LogHistogram ha(2.0), hb(2.0), combined(2.0);
+    for (double v : a) { ha.add(v); combined.add(v); }
+    for (double v : b) { hb.add(v); combined.add(v); }
+    ha.merge(hb);
+    EXPECT_EQ(ha.total(), combined.total());
+    EXPECT_EQ(ha.minBin(), combined.minBin());
+    EXPECT_EQ(ha.counts(), combined.counts());
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        EXPECT_DOUBLE_EQ(ha.quantile(q), combined.quantile(q)) << q;
+    }
+}
+
+TEST(LogHistogram, MergeEmptyEdgeCases)
+{
+    LogHistogram h(2.0);
+    h.add(3.0);
+    LogHistogram empty(2.0);
+    h.merge(empty); // no-op
+    EXPECT_EQ(h.total(), 1u);
+    empty.merge(h); // adopts
+    EXPECT_EQ(empty.total(), 1u);
+    EXPECT_EQ(empty.counts(), h.counts());
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), h.quantile(0.5));
+}
+
+TEST(LogHistogram, MergeRejectsBaseMismatch)
+{
+    LogHistogram a(2.0);
+    LogHistogram b(1.15);
+    a.add(1.0);
+    b.add(1.0);
+    EXPECT_THROW(a.merge(b), InputError);
+}
+
 TEST(SerialFor, VisitsAllInOrder)
 {
     std::vector<u64> seen;

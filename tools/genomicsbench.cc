@@ -17,6 +17,7 @@
  *                    [--cache-dir=DIR] [--json=FILE]
  *   genomicsbench client --connect=HOST:PORT --jobs=FILE
  *                    [--wait-timeout=S] [--drain]
+ *   genomicsbench trace inspect <trace.json> [--top=N]
  *
  * `run` times the kernel (wall clock, tasks/s); `characterize` prints
  * the operation mix, cache behaviour and top-down attribution for one
@@ -26,7 +27,9 @@
  * whole job list through the gb::serve scheduler (docs/serve.md):
  * batch mode (--jobs) drains a file, network mode (--listen) accepts
  * jobs over TCP until DRAIN or SIGTERM. `client` drives a job file
- * against a network server.
+ * against a network server. `run` and `serve` accept --trace=FILE to
+ * record a gb::trace timeline (Perfetto-loadable Chrome trace JSON);
+ * `trace inspect` summarizes such a file (docs/tracing.md).
  */
 #include <algorithm>
 #include <csignal>
@@ -51,6 +54,7 @@
 #include "simd/simd.h"
 #include "store/cache.h"
 #include "store/container.h"
+#include "trace/trace.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -67,6 +71,33 @@ report(const Table& table)
 {
     table.print(std::cout);
     metrics::emitTable(g_sink, table);
+}
+
+/**
+ * Run `fn` with gb::trace armed when --trace=FILE was given: start
+ * the collector, run the command, stop, export. Export happens after
+ * every worker quiesced (commands drain/join before returning) and
+ * even when the command fails — a trace of the failing run is the
+ * most useful kind.
+ */
+int
+runTraced(const std::string& trace_path, const std::function<int()>& fn)
+{
+    if (trace_path.empty()) return fn();
+    trace::start();
+    int rc = 1;
+    try {
+        rc = fn();
+    } catch (...) {
+        trace::stop();
+        throw;
+    }
+    trace::stop();
+    const auto st = trace::writeChromeTraceFile(trace_path);
+    std::cout << "trace: " << st.events << " events from " << st.rings
+              << " threads (" << st.dropped << " dropped) -> "
+              << trace_path << '\n';
+    return rc;
 }
 
 int
@@ -91,9 +122,11 @@ usage()
            "  genomicsbench serve --jobs=FILE | --listen=HOST:PORT"
            " [--workers=N] [--queue-depth=K]"
            " [--schedule=dynamic|steal]"
-           " [--cache-dir=DIR] [--json=FILE]\n"
+           " [--cache-dir=DIR] [--json=FILE] [--trace=FILE]\n"
            "  genomicsbench client --connect=HOST:PORT --jobs=FILE"
-           " [--wait-timeout=S] [--drain]\n";
+           " [--wait-timeout=S] [--drain]\n"
+           "  genomicsbench trace inspect <trace.json> [--top=N]\n"
+           "(run also accepts --trace=FILE; see docs/tracing.md)\n";
     return 2;
 }
 
@@ -148,7 +181,13 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     auto kernel = createKernel(name);
     kernel->setEngine(engine);
     WallTimer prep_timer;
-    kernel->prepare(size);
+    {
+        trace::Span span(trace::enabled()
+                             ? trace::internName("prepare:" + name)
+                             : 0u,
+                         trace::Category::kKernel);
+        kernel->prepare(size);
+    }
     std::cout << "prepared in " << formatF(prep_timer.seconds(), 2)
               << " s";
     const auto& cache = store::globalCache();
@@ -168,7 +207,10 @@ cmdRun(const std::string& name, DatasetSize size, unsigned threads,
     double best = 1e300;
     u64 tasks = 0;
     metrics::PerfSample best_sample;
+    const u32 repeat_name =
+        trace::enabled() ? trace::internName("repeat:" + name) : 0u;
     for (unsigned r = 0; r < repeat; ++r) {
+        trace::Span span(repeat_name, trace::Category::kKernel, r);
         WallTimer timer;
         counters.start();
         tasks = kernel->run(pool);
@@ -477,6 +519,17 @@ reportServeJobs(
                   << cache.flightWaits() - base.waits
                   << " single-flight waits\n";
     }
+    const auto& lat = stats.latency;
+    if (lat.jobs > 0) {
+        std::cout << "latency (" << lat.jobs
+                  << " jobs, p50/p95/p99 ms): queue_wait "
+                  << formatF(lat.queue_wait.p50_ms, 2) << "/"
+                  << formatF(lat.queue_wait.p95_ms, 2) << "/"
+                  << formatF(lat.queue_wait.p99_ms, 2) << ", e2e "
+                  << formatF(lat.end_to_end.p50_ms, 2) << "/"
+                  << formatF(lat.end_to_end.p95_ms, 2) << "/"
+                  << formatF(lat.end_to_end.p99_ms, 2) << '\n';
+    }
     g_sink.newRow("serve_summary")
         .count("jobs", jobs.size())
         .count("completed", stats.completed)
@@ -490,7 +543,13 @@ reportServeJobs(
         .count("cache_builds", cache.builds() - base.builds)
         .count("cache_hits", cache.hits() - base.hits)
         .count("cache_misses", cache.misses() - base.misses)
-        .count("cache_flight_waits", cache.flightWaits() - base.waits);
+        .count("cache_flight_waits", cache.flightWaits() - base.waits)
+        .num("queue_wait_p50_ms", lat.queue_wait.p50_ms)
+        .num("queue_wait_p95_ms", lat.queue_wait.p95_ms)
+        .num("queue_wait_p99_ms", lat.queue_wait.p99_ms)
+        .num("e2e_p50_ms", lat.end_to_end.p50_ms)
+        .num("e2e_p95_ms", lat.end_to_end.p95_ms)
+        .num("e2e_p99_ms", lat.end_to_end.p99_ms);
     return any_bad;
 }
 
@@ -590,6 +649,66 @@ cmdServeListen(const std::string& listen_spec, unsigned workers,
 }
 
 /**
+ * `trace inspect`: summarize an exported trace file — span counts,
+ * per-category totals, per-name aggregates and the top-N longest
+ * individual spans.
+ */
+int
+cmdTraceInspect(const std::string& path, size_t top_n)
+{
+    const auto parsed = trace::parseChromeTraceFile(path);
+    const auto s = trace::summarize(parsed, top_n);
+    std::cout << "file:     " << path << '\n'
+              << "events:   " << s.spans << " spans, " << s.instants
+              << " instants (" << s.dropped_events
+              << " dropped at capture, " << s.rings << " threads)\n"
+              << "extent:   " << formatF(s.extent_us / 1000.0, 3)
+              << " ms\n\n";
+
+    Table categories("Per-category span totals");
+    categories.setHeader({"category", "spans", "total ms", "max ms"});
+    for (const auto& agg : s.by_category) {
+        categories.newRow()
+            .cell(agg.category)
+            .cell(std::to_string(agg.count))
+            .cellF(agg.total_us / 1000.0, 3)
+            .cellF(agg.max_us / 1000.0, 3);
+    }
+    report(categories);
+
+    Table names("Per-name span totals");
+    names.setHeader({"name", "category", "count", "total ms",
+                     "max ms"});
+    size_t shown = 0;
+    for (const auto& agg : s.by_name) {
+        if (shown++ >= top_n) break;
+        names.newRow()
+            .cell(agg.name)
+            .cell(agg.category)
+            .cell(std::to_string(agg.count))
+            .cellF(agg.total_us / 1000.0, 3)
+            .cellF(agg.max_us / 1000.0, 3);
+    }
+    report(names);
+
+    Table longest("Top " + std::to_string(s.longest.size()) +
+                  " longest spans");
+    longest.setHeader({"name", "category", "job", "thread", "start ms",
+                       "dur ms"});
+    for (const auto& ev : s.longest) {
+        longest.newRow()
+            .cell(ev.name)
+            .cell(ev.category)
+            .cell(std::to_string(ev.job_id))
+            .cell(std::to_string(ev.tid))
+            .cellF(ev.ts_us / 1000.0, 3)
+            .cellF(ev.dur_us / 1000.0, 3);
+    }
+    report(longest);
+    return 0;
+}
+
+/**
  * `client`: drive a job file against a live `serve --listen` server.
  * Exit 0 only when every submitted job completed.
  */
@@ -632,6 +751,8 @@ main(int argc, char** argv)
         Engine engine = Engine::kScalar;
         SchedulePolicy schedule = SchedulePolicy::kDynamic;
         std::string json_path;
+        std::string trace_path;
+        unsigned top_n = 10;
         std::string jobs_path;
         std::string listen_spec;
         std::string connect_spec;
@@ -659,6 +780,13 @@ main(int argc, char** argv)
                 store::setCacheDir(arg.substr(12));
             } else if (arg.rfind("--json=", 0) == 0) {
                 json_path = arg.substr(7);
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                trace_path = arg.substr(8);
+                requireInput(!trace_path.empty(),
+                             "--trace needs a file path");
+            } else if (arg.rfind("--top=", 0) == 0) {
+                top_n = static_cast<unsigned>(
+                    std::stoul(arg.substr(6)));
             } else if (arg.rfind("--jobs=", 0) == 0) {
                 jobs_path = arg.substr(7);
             } else if (arg.rfind("--listen=", 0) == 0) {
@@ -720,6 +848,14 @@ main(int argc, char** argv)
             return usage();
         }
 
+        if (command == "trace") {
+            if (positional.size() != 2 ||
+                positional.front() != "inspect") {
+                return usage();
+            }
+            return cmdTraceInspect(positional.back(), top_n);
+        }
+
         if (command == "serve") {
             if (!positional.empty()) return usage();
             if (!listen_spec.empty() && !jobs_path.empty()) {
@@ -728,16 +864,20 @@ main(int argc, char** argv)
                 return 2;
             }
             if (!listen_spec.empty()) {
-                return cmdServeListen(listen_spec, workers,
-                                      queue_depth, schedule);
+                return runTraced(trace_path, [&] {
+                    return cmdServeListen(listen_spec, workers,
+                                          queue_depth, schedule);
+                });
             }
             if (jobs_path.empty()) {
                 std::cerr << "error: serve requires --jobs=FILE or "
                              "--listen=HOST:PORT\n";
                 return 2;
             }
-            return cmdServe(jobs_path, workers, queue_depth,
-                            schedule);
+            return runTraced(trace_path, [&] {
+                return cmdServe(jobs_path, workers, queue_depth,
+                                schedule);
+            });
         }
 
         if (command == "client") {
@@ -750,8 +890,10 @@ main(int argc, char** argv)
         const std::string kernel = positional.front();
         if (command == "info") return cmdInfo(kernel);
         if (command == "run") {
-            return cmdRun(kernel, size, threads, repeat, engine,
-                          schedule);
+            return runTraced(trace_path, [&] {
+                return cmdRun(kernel, size, threads, repeat, engine,
+                              schedule);
+            });
         }
         if (command == "characterize") {
             return cmdCharacterize(kernel, size);
